@@ -1,0 +1,63 @@
+// Command snexp runs the paper-reproduction experiments and prints their
+// tables. With no arguments it lists the registry; -exp runs one experiment,
+// -all runs everything.
+//
+// Usage:
+//
+//	snexp -list
+//	snexp -exp fig12 [-full] [-csv]
+//	snexp -all [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiments")
+		id   = flag.String("exp", "", "experiment ID to run")
+		all  = flag.Bool("all", false, "run every experiment")
+		full = flag.Bool("full", false, "full methodology (longer runs) instead of quick mode")
+		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opts := exp.Options{Quick: !*full, Seed: *seed}
+	switch {
+	case *list || (*id == "" && !*all):
+		fmt.Println("Available experiments:")
+		for _, e := range exp.Registry() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	case *all:
+		for _, e := range exp.Registry() {
+			fmt.Printf("== running %s: %s\n", e.ID, e.Title)
+			emit(e.Run(opts), *csv)
+		}
+	default:
+		e, err := exp.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		emit(e.Run(opts), *csv)
+	}
+}
+
+func emit(tables []*stats.Table, csv bool) {
+	for _, t := range tables {
+		if csv {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command sngen generates Slim NoC configurations: it prints Table 2
+// (feasible configurations), the finite-field operation tables (Table 3),
+// and, for a chosen q/p/layout, the full router adjacency with labels,
+// coordinates and generator sets.
+//
+// Usage:
+//
+//	sngen -table2
+//	sngen -field 9
+//	sngen -q 5 -p 4 -layout subgr [-adj]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/gf"
+)
+
+func main() {
+	var (
+		table2 = flag.Bool("table2", false, "print Table 2 (configurations with N <= maxn)")
+		maxN   = flag.Int("maxn", 1300, "node limit for -table2")
+		field  = flag.Int("field", 0, "print operation tables for GF(q)")
+		q      = flag.Int("q", 0, "build a Slim NoC with this q")
+		p      = flag.Int("p", 0, "concentration (default ideal ceil(k'/2))")
+		layout = flag.String("layout", "subgr", "layout: basic, subgr, gr, rand")
+		adj    = flag.Bool("adj", false, "print the full adjacency list")
+	)
+	flag.Parse()
+
+	switch {
+	case *table2:
+		for _, t := range exp.Table2(exp.Options{}) {
+			fmt.Println(t.String())
+		}
+		_ = maxN
+	case *field != 0:
+		printField(*field)
+	case *q != 0:
+		build(*q, *p, core.Layout(*layout), *adj)
+	default:
+		flag.Usage()
+	}
+}
+
+func printField(q int) {
+	f, err := gf.New(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("GF(%d): characteristic %d, degree %d\n", q, f.Char(), f.Degree())
+	xi := f.PrimitiveElement()
+	fmt.Printf("primitive elements: %v (using %s)\n", names(f, f.PrimitiveElements()), f.Name(xi))
+	fmt.Println("\naddition:")
+	printTable(f, f.AddTable())
+	fmt.Println("\nmultiplication:")
+	printTable(f, f.MulTable())
+	fmt.Println("\nnegation:")
+	for a := 0; a < q; a++ {
+		fmt.Printf("  -%s = %s\n", f.Name(a), f.Name(f.Neg(a)))
+	}
+}
+
+func names(f *gf.Field, es []int) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = f.Name(e)
+	}
+	return out
+}
+
+func printTable(f *gf.Field, t [][]int) {
+	q := f.Order()
+	fmt.Print("     ")
+	for b := 0; b < q; b++ {
+		fmt.Printf("%3s", f.Name(b))
+	}
+	fmt.Println()
+	for a := 0; a < q; a++ {
+		fmt.Printf("  %3s", f.Name(a))
+		for b := 0; b < q; b++ {
+			fmt.Printf("%3s", f.Name(t[a][b]))
+		}
+		fmt.Println()
+	}
+}
+
+func build(q, p int, layout core.Layout, adj bool) {
+	if p == 0 {
+		kp, err := core.KPrimeFor(q)
+		if err != nil {
+			fatal(err)
+		}
+		p = (kp + 1) / 2
+	}
+	s, err := core.New(core.Params{Q: q, P: p})
+	if err != nil {
+		fatal(err)
+	}
+	net, err := s.Network(layout, 1)
+	if err != nil {
+		fatal(err)
+	}
+	f := s.Field
+	fmt.Printf("Slim NoC q=%d p=%d: N=%d routers=%d k'=%d k=%d diameter=%d\n",
+		q, p, s.N(), s.Nr(), s.KPrime, net.RouterRadix(), net.Diameter())
+	fmt.Printf("generator sets: X=%v X'=%v\n", names(f, s.X), names(f, s.Xp))
+	fmt.Printf("layout %s: die %s, avg wire length M=%.2f hops, max wire crossings W=%d\n",
+		layout, dieStr(net), net.AvgWireLength(), core.MaxWireCrossing(net))
+	if adj {
+		for i := 0; i < s.Nr(); i++ {
+			l := s.LabelOf(i)
+			c := net.Coords[i]
+			fmt.Printf("router %3d [%d|%s,%s] at (%d,%d):", i, l.G, f.Name(l.A), f.Name(l.B), c.X, c.Y)
+			for _, j := range s.Adj[i] {
+				fmt.Printf(" %d", j)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func dieStr(net interface{ GridDims() (int, int) }) string {
+	x, y := net.GridDims()
+	return fmt.Sprintf("%dx%d", x, y)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sngen:", err)
+	os.Exit(1)
+}

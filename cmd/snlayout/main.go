@@ -1,0 +1,86 @@
+// Command snlayout analyses Slim NoC physical layouts: average wire length,
+// buffer budgets, wiring constraints and distance distributions (the §3.3
+// analyses behind Figs. 5 and 6).
+//
+// Usage:
+//
+//	snlayout -q 9 -p 8
+//	snlayout -q 5 -p 4 -dist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		q     = flag.Int("q", 5, "Slim NoC parameter q")
+		p     = flag.Int("p", 0, "concentration (default ideal)")
+		dist  = flag.Bool("dist", false, "print distance distributions (Fig. 6)")
+		smart = flag.Bool("smart", false, "size buffers with SMART links (H=9)")
+	)
+	flag.Parse()
+
+	if *p == 0 {
+		kp, err := core.KPrimeFor(*q)
+		if err != nil {
+			fatal(err)
+		}
+		*p = (kp + 1) / 2
+	}
+	s, err := core.New(core.Params{Q: *q, P: *p})
+	if err != nil {
+		fatal(err)
+	}
+	m := core.DefaultBufferModel()
+	if *smart {
+		m = m.WithSMART()
+	}
+	fmt.Printf("Slim NoC q=%d p=%d: N=%d Nr=%d k'=%d (buffers sized with H=%d)\n\n",
+		*q, *p, s.N(), s.Nr(), s.KPrime, m.H)
+	fmt.Printf("%-10s %8s %10s %12s %12s %10s\n",
+		"layout", "die", "avg M", "Δeb [flits]", "Δcb20", "max W")
+	for _, l := range core.Layouts() {
+		net, err := s.Network(l, 1)
+		if err != nil {
+			fatal(err)
+		}
+		x, y := net.GridDims()
+		cost := core.CostOf(net, m, 20)
+		fmt.Printf("%-10s %8s %10.2f %12d %12d %10d\n",
+			"sn_"+string(l), fmt.Sprintf("%dx%d", x, y), cost.M, cost.TotalEB,
+			cost.TotalCB, cost.MaxWires)
+	}
+
+	fmt.Println("\nwiring constraints (Eq. 3):")
+	for _, wc := range core.WiringConstraints() {
+		net, _ := s.Network(core.LayoutSubgroup, 1)
+		ok, got := core.SatisfiesConstraint(net, wc)
+		status := "OK"
+		if !ok {
+			status = "VIOLATED"
+		}
+		fmt.Printf("  %-5s W=%6d observed=%5d  %s\n", wc.Node, wc.MaxWires(), got, status)
+	}
+
+	if *dist {
+		fmt.Println("\ndistance distributions (probability per 2-wide bin):")
+		for _, l := range []core.Layout{core.LayoutGroup, core.LayoutSubgroup} {
+			net, _ := s.Network(l, 1)
+			fmt.Printf("  sn_%s: ", l)
+			for i, pr := range core.DistanceDistribution(net) {
+				fmt.Printf("%d-%d:%.3f ", 2*i+1, 2*i+2, pr)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snlayout:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Slim NoC: A Low-Diameter On-Chip Network
+// Topology for High Energy Efficiency and Scalability" (ASPLOS 2018).
+//
+// The implementation lives under internal/: the Slim NoC construction and
+// layout models in internal/core, the finite fields in internal/gf, the
+// baseline topologies in internal/topo, the cycle-accurate simulator in
+// internal/sim, the DSENT-substitute power models in internal/power, and
+// the per-figure experiment harness in internal/exp. The root package holds
+// the benchmark harness (bench_test.go) that regenerates every table and
+// figure of the paper's evaluation; see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for recorded results.
+package repro

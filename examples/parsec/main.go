@@ -1,0 +1,78 @@
+// Trace-driven workloads: replays the synthetic PARSEC/SPLASH traces (the
+// paper's §5.1 "Real Traffic" substitute) on SN-S under different layouts —
+// the Fig. 10b experiment — and demonstrates trace record/replay round
+// trips.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+	"repro/internal/trace"
+)
+
+func main() {
+	layouts := []string{"sn_basic_200", "sn_gr_200", "sn_subgr_200"}
+	benches := []string{"barnes", "fft", "radix", "water-s"}
+	opts := exp.Options{Quick: true, Seed: 1}
+
+	fmt.Println("PARSEC/SPLASH latency [cycles] per SN layout (cf. Fig. 10b):")
+	fmt.Printf("%-10s", "bench")
+	for _, l := range layouts {
+		fmt.Printf("  %-14s", l)
+	}
+	fmt.Println()
+	for _, bname := range benches {
+		b := trace.BenchmarkByName(bname)
+		if b == nil {
+			log.Fatalf("unknown benchmark %s", bname)
+		}
+		fmt.Printf("%-10s", bname)
+		for _, lname := range layouts {
+			spec, err := exp.BuildNet(lname)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src := trace.NewSource(*b, spec.Net.N())
+			res, err := exp.Run(exp.RunSpec{Spec: spec, Source: src, Opts: opts})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-14.1f", res.AvgLatency)
+		}
+		fmt.Println()
+	}
+
+	// Record/replay round trip: store a trace, reload it, and drive the
+	// simulator from the recorded events.
+	b := trace.BenchmarkByName("fft")
+	src := trace.NewSource(*b, 192)
+	events := trace.Record(src, 5000, 42)
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, events); err != nil {
+		log.Fatal(err)
+	}
+	stored := buf.Len()
+	loaded, err := trace.Read(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecorded %d fft events (%d bytes); replaying on sn_subgr_200...\n",
+		len(loaded), stored)
+	spec, err := exp.BuildNet("sn_subgr_200")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Run(exp.RunSpec{
+		Spec:   spec,
+		Source: &trace.Replay{Events: loaded, Loop: true},
+		Opts:   opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replay: latency %.1f cycles, throughput %.4f flits/node/cycle\n",
+		res.AvgLatency, res.Throughput)
+}

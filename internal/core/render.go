@@ -1,0 +1,99 @@
+// ASCII rendering of placements and wire-crossing heatmaps, used by
+// cmd/sngen to visualise the §3.3 layouts (the textual analogue of the
+// paper's Fig. 7).
+
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topo"
+)
+
+// RenderPlacement draws the placement grid: each cell shows the router's
+// merged-group ID (the subgroup ID a, shared by the paired subgroups), or
+// "." for an empty cell. Group structure is immediately visible: in the
+// group layout, equal digits form contiguous blocks; in the subgroup
+// layout, rows alternate between the two subgroup types of each group.
+func (s *SlimNoC) RenderPlacement(l Layout, seed int64) (string, error) {
+	coords, err := s.Coordinates(l, seed)
+	if err != nil {
+		return "", err
+	}
+	mx, my := 0, 0
+	for _, c := range coords {
+		if c.X > mx {
+			mx = c.X
+		}
+		if c.Y > my {
+			my = c.Y
+		}
+	}
+	grid := make([][]string, my)
+	for y := range grid {
+		grid[y] = make([]string, mx)
+		for x := range grid[y] {
+			grid[y][x] = " ."
+		}
+	}
+	for i, c := range coords {
+		lb := s.LabelOf(i)
+		// Subgroup type 0 renders as " g", type 1 as "'g".
+		prefix := " "
+		if lb.G == 1 {
+			prefix = "'"
+		}
+		grid[c.Y-1][c.X-1] = prefix + groupGlyph(lb.A)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sn_%s layout, q=%d (die %dx%d; glyph = group ID, ' = subgroup type 1):\n",
+		l, s.Q, mx, my)
+	for _, row := range grid {
+		b.WriteString(strings.Join(row, " "))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// groupGlyph names merged group a: digits then letters, so up to 36 groups
+// render as single characters.
+func groupGlyph(a int) string {
+	const glyphs = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if a < len(glyphs) {
+		return string(glyphs[a])
+	}
+	return "#"
+}
+
+// RenderHeatmap draws the wire-crossing counts of the placement (the left
+// side of Eq. 3) as a logarithmic intensity map, revealing routing
+// hotspots. Intensity glyphs: " .:-=+*#%@" from empty to the maximum.
+func RenderHeatmap(n *topo.Network) string {
+	counts := WireCrossings(n)
+	max := 0
+	for _, col := range counts {
+		for _, c := range col {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	const ramp = " .:-=+*#%@"
+	var b strings.Builder
+	fmt.Fprintf(&b, "wire crossings per tile (max %d):\n", max)
+	if max == 0 {
+		return b.String()
+	}
+	mx := len(counts)
+	my := len(counts[0])
+	for y := 0; y < my; y++ {
+		for x := 0; x < mx; x++ {
+			idx := counts[x][y] * (len(ramp) - 1) / max
+			b.WriteByte(ramp[idx])
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+// Configuration enumeration reproducing Table 2 (§3.1) and the ready-made
+// designs of §3.4.
+
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/topo"
+)
+
+// ConfigRow is one row of Table 2: a feasible Slim NoC configuration.
+type ConfigRow struct {
+	KPrime       int     // network radix k'
+	P            int     // concentration
+	IdealP       int     // ceil(k'/2): the zero-κ concentration
+	Subscription float64 // P / IdealP (the table's over/under-subscription)
+	N            int     // network size
+	Nr           int     // router count
+	Q            int     // input parameter q
+	NonPrime     bool    // q is a non-prime prime power
+	PowerOfTwoN  bool    // bold in Table 2
+	SquareGroups bool    // grey: equally many groups on each die side (q square)
+	SquareN      bool    // dark grey: additionally N is a perfect square
+}
+
+// EnumerateConfigs reproduces Table 2: all Slim NoC configurations with
+// N <= maxN, over all prime-power q, with concentration within the paper's
+// 66%–133% subscription window around ceil(k'/2).
+func EnumerateConfigs(maxN int) []ConfigRow {
+	var rows []ConfigRow
+	for q := 2; 2*q*q <= maxN; q++ {
+		_, n, ok := gf.IsPrimePower(q)
+		if !ok {
+			continue
+		}
+		kp, err := KPrimeFor(q)
+		if err != nil {
+			continue
+		}
+		nr := 2 * q * q
+		ideal := (kp + 1) / 2
+		for conc := 1; conc <= 2*ideal; conc++ {
+			ratio := float64(conc) / float64(ideal)
+			if ratio < 0.66 || ratio > 4.0/3.0+1e-9 {
+				continue
+			}
+			size := nr * conc
+			if size > maxN {
+				continue
+			}
+			rows = append(rows, ConfigRow{
+				KPrime:       kp,
+				P:            conc,
+				IdealP:       ideal,
+				Subscription: ratio,
+				N:            size,
+				Nr:           nr,
+				Q:            q,
+				NonPrime:     n > 1,
+				PowerOfTwoN:  size&(size-1) == 0,
+				SquareGroups: isSquare(q),
+				SquareN:      isSquare(q) && isSquare(size),
+			})
+		}
+	}
+	// Order as in the paper: non-prime fields first, then prime, by k'.
+	sortRows(rows)
+	return rows
+}
+
+func isSquare(n int) bool {
+	for i := 1; i*i <= n; i++ {
+		if i*i == n {
+			return true
+		}
+	}
+	return false
+}
+
+func sortRows(rows []ConfigRow) {
+	// Stable three-key sort: non-prime first, then k', then P.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rowLess(rows[j], rows[j-1]); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+func rowLess(a, b ConfigRow) bool {
+	if a.NonPrime != b.NonPrime {
+		return a.NonPrime
+	}
+	if a.KPrime != b.KPrime {
+		return a.KPrime < b.KPrime
+	}
+	return a.P < b.P
+}
+
+// Design is a ready-to-use Slim NoC from §3.4.
+type Design struct {
+	Name   string
+	Q, P   int
+	Layout Layout
+}
+
+// SNS is the paper's small design: N=200, Nr=50, q=5, p=4, subgroup layout,
+// targeting SW26010-class chips.
+func SNS() Design { return Design{Name: "SN-S", Q: 5, P: 4, Layout: LayoutSubgroup} }
+
+// SNL is the large design: N=1296, Nr=162, q=9, p=8, group layout (9
+// identical groups on a 3x3 grid).
+func SNL() Design { return Design{Name: "SN-L", Q: 9, P: 8, Layout: LayoutGroup} }
+
+// SN1024 is the power-of-two design: N=1024, Nr=128, q=8, p=8, subgroup
+// layout, matching the Epiphany-class core count.
+func SN1024() Design { return Design{Name: "SN-1024", Q: 8, P: 8, Layout: LayoutSubgroup} }
+
+// SN54 is the small-scale design of §5.6 (N=54, q=3, p=3), used for the
+// Knights-Landing-class comparison.
+func SN54() Design { return Design{Name: "SN-54", Q: 3, P: 3, Layout: LayoutSubgroup} }
+
+// Build constructs the design's placed network.
+func (d Design) Build() (*SlimNoC, *topo.Network, error) {
+	s, err := New(Params{Q: d.Q, P: d.P})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: building %s: %v", d.Name, err)
+	}
+	n, err := s.Network(d.Layout, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	n.Name = d.Name
+	return s, n, nil
+}
+
+// FromNetworkSize constructs Slim NoC parameters for a requested node count
+// (§3.5.3): it finds q and p with N = 2q^2·p, preferring the smallest
+// subscription deviation from the ideal concentration. Returns an error if
+// no prime-power q divides the request exactly.
+func FromNetworkSize(n int) (Params, error) {
+	best := Params{}
+	bestDev := -1.0
+	for q := 2; 2*q*q <= n; q++ {
+		if _, _, ok := gf.IsPrimePower(q); !ok {
+			continue
+		}
+		nr := 2 * q * q
+		if n%nr != 0 {
+			continue
+		}
+		p := n / nr
+		kp, err := KPrimeFor(q)
+		if err != nil {
+			continue
+		}
+		ideal := (kp + 1) / 2
+		dev := float64(p)/float64(ideal) - 1
+		if dev < 0 {
+			dev = -dev
+		}
+		if bestDev < 0 || dev < bestDev {
+			best = Params{Q: q, P: p}
+			bestDev = dev
+		}
+	}
+	if bestDev < 0 {
+		return Params{}, fmt.Errorf("core: no Slim NoC configuration with exactly %d nodes", n)
+	}
+	return best, nil
+}

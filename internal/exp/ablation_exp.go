@@ -1,0 +1,79 @@
+// Ablations on the design choices DESIGN.md calls out: central-buffer
+// capacity (§5.2.1 tests 6/10/20/40/70/100 flits), VC count, and the SMART
+// hop factor H.
+
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// AblCBSize sweeps the central-buffer capacity on SN-S and SN-L at a
+// moderate and a high RND load, reproducing the §5.2.1 observation that
+// small CBs outperform large ones (which hold more packets and raise
+// latency) while still removing head-of-line blocking.
+func AblCBSize(o Options) []*stats.Table {
+	sizes := []int{6, 10, 20, 40, 70, 100}
+	if o.Quick {
+		sizes = []int{6, 20, 40, 100}
+	}
+	var out []*stats.Table
+	for _, netName := range []string{"sn_subgr_200", "sn_gr_1296"} {
+		t := &stats.Table{
+			ID:     fmt.Sprintf("abl-cbsize-%s", netName),
+			Title:  fmt.Sprintf("Central buffer capacity sweep, %s, RND (§5.2.1)", netName),
+			Header: []string{"cb_flits", "lat@0.06", "lat@0.30", "thr@0.30"},
+		}
+		spec := MustNet(netName)
+		for _, cb := range sizes {
+			low := MustRun(RunSpec{Spec: spec, Scheme: 1, CBCap: cb,
+				Pattern: "RND", Rate: 0.06, Opts: o})
+			high := MustRun(RunSpec{Spec: spec, Scheme: 1, CBCap: cb,
+				Pattern: "RND", Rate: 0.30, Opts: o})
+			t.AddRowF(cb, fmtLat(low), fmtLat(high), high.Throughput)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// AblVCs sweeps the virtual channel count on SN-S: 2 VCs suffice for
+// deadlock freedom at diameter 2 (§4.3); more VCs trade buffer area for
+// throughput under contention.
+func AblVCs(o Options) []*stats.Table {
+	t := &stats.Table{
+		ID:     "abl-vcs",
+		Title:  "VC count sweep, sn_subgr_200, RND (§4.3)",
+		Header: []string{"vcs", "lat@0.06", "lat@0.30", "thr@0.30"},
+	}
+	spec := MustNet("sn_subgr_200")
+	for _, vcs := range []int{2, 3, 4} {
+		low := MustRun(RunSpec{Spec: spec, VCs: vcs, Pattern: "RND", Rate: 0.06, Opts: o})
+		high := MustRun(RunSpec{Spec: spec, VCs: vcs, Pattern: "RND", Rate: 0.30, Opts: o})
+		t.AddRowF(vcs, fmtLat(low), fmtLat(high), high.Throughput)
+	}
+	return []*stats.Table{t}
+}
+
+// AblSmartH sweeps the SMART hop factor: H=1 (no SMART) up to H=11, the
+// §3.2.2 range for 1 GHz at 45 nm, on the long-wire sn_basic layout where
+// SMART matters most.
+func AblSmartH(o Options) []*stats.Table {
+	t := &stats.Table{
+		ID:     "abl-smarth",
+		Title:  "SMART hop factor sweep, sn_basic_1296, RND load 0.06 (§3.2.2)",
+		Header: []string{"H", "latency_cycles"},
+	}
+	spec := MustNet("sn_basic_1296")
+	hs := []int{1, 3, 9, 11}
+	if o.Quick {
+		hs = []int{1, 9}
+	}
+	for _, h := range hs {
+		res := MustRun(RunSpec{Spec: spec, Pattern: "RND", Rate: 0.06, H: h, Opts: o})
+		t.AddRowF(h, res.AvgLatency)
+	}
+	return []*stats.Table{t}
+}

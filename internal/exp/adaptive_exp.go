@@ -1,0 +1,65 @@
+// Adaptive routing study (Fig. 20, §6): UGAL-L / UGAL-G / MIN on SN versus
+// UGAL-L / XY-ADAPT / MIN on FBF, with plain input-queued routers (no
+// SMART, CB or elastic links), N = 200.
+
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// adaptiveVariant names one (network, routing scheme) combination.
+type adaptiveVariant struct {
+	label  string
+	spec   string
+	policy func() sim.AdaptivePolicy
+}
+
+func fig20Variants() []adaptiveVariant {
+	return []adaptiveVariant{
+		{"SN_MIN", "sn_subgr_200", func() sim.AdaptivePolicy { return nil }},
+		{"SN_UGAL-L", "sn_subgr_200", func() sim.AdaptivePolicy { return &sim.UGAL{Global: false, VCs: 4} }},
+		{"SN_UGAL-G", "sn_subgr_200", func() sim.AdaptivePolicy { return &sim.UGAL{Global: true, VCs: 4} }},
+		{"FBF_MIN", "fbf4", func() sim.AdaptivePolicy { return nil }},
+		{"FBF_UGAL-L", "fbf4", func() sim.AdaptivePolicy { return &sim.UGAL{Global: false, VCs: 4} }},
+		{"FBF_XY-ADAPT", "fbf4", func() sim.AdaptivePolicy { return &sim.MinAdaptive{VCs: 4} }},
+	}
+}
+
+// Fig20 runs the adaptive-routing comparison for uniform random and
+// asymmetric traffic.
+func Fig20(o Options) []*stats.Table {
+	var out []*stats.Table
+	variants := fig20Variants()
+	loads := o.Loads()
+	for _, pat := range []string{"RND", "ASYM"} {
+		t := &stats.Table{
+			ID:     fmt.Sprintf("fig20-%s", pat),
+			Title:  fmt.Sprintf("Adaptive routing, %s, N=200, input-queued routers (Fig. 20)", pat),
+			Header: []string{"load"},
+		}
+		for _, v := range variants {
+			t.Header = append(t.Header, v.label)
+		}
+		for _, load := range loads {
+			row := []interface{}{fmtLoad(load)}
+			for _, v := range variants {
+				res := MustRun(RunSpec{
+					Spec:    MustNet(v.spec),
+					VCs:     4,
+					Pattern: pat,
+					Rate:    load,
+					Policy:  v.policy(),
+					Opts:    o,
+				})
+				row = append(row, fmtLat(res))
+			}
+			t.AddRowF(row...)
+		}
+		out = append(out, t)
+	}
+	return out
+}

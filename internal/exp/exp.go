@@ -1,0 +1,232 @@
+// Package exp is the experiment harness: one entry per table and figure in
+// the paper's evaluation (§2.2, §3, §5, §6). Each experiment builds the
+// networks of Table 4, runs the simulator and/or the analytical models, and
+// emits the same rows or series the paper reports, as printable tables.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Options tunes experiment scale. Quick mode shrinks cycle counts and sweep
+// density so the full suite runs in benchmark time; Full matches the paper's
+// methodology more closely.
+type Options struct {
+	Quick bool
+	Seed  int64
+}
+
+// Cycles returns (warmup, measure, drain) for the current mode.
+func (o Options) Cycles() (int64, int64, int64) {
+	if o.Quick {
+		return 1000, 3000, 4000
+	}
+	return 5000, 20000, 30000
+}
+
+// Loads returns the offered-load sweep in flits/node/cycle.
+func (o Options) Loads() []float64 {
+	if o.Quick {
+		return []float64{0.008, 0.06, 0.24}
+	}
+	return []float64{0.008, 0.02, 0.06, 0.12, 0.24, 0.40}
+}
+
+// NetSpec is one simulated network configuration from Table 4.
+type NetSpec struct {
+	Name string
+	Net  *topo.Network
+	Kind routing.Kind
+}
+
+// BuildNet constructs a named network. Names follow Table 4 (cm3, t2d9,
+// fbf8, pfbf4, ...) plus sn_<layout>_<N> for Slim NoCs and the N=54
+// small-scale set of §5.6.
+func BuildNet(name string) (NetSpec, error) {
+	mk := func(n *topo.Network, k routing.Kind) (NetSpec, error) {
+		n.Name = name
+		return NetSpec{Name: name, Net: n, Kind: k}, nil
+	}
+	switch name {
+	// N in {192, 200}.
+	case "cm3":
+		return mk(topo.Mesh2D(8, 8, 3), routing.Kind{Class: routing.ClassMesh, RX: 8, RY: 8})
+	case "cm4":
+		return mk(topo.Mesh2D(10, 5, 4), routing.Kind{Class: routing.ClassMesh, RX: 10, RY: 5})
+	case "t2d3":
+		return mk(topo.Torus2D(8, 8, 3), routing.Kind{Class: routing.ClassTorus, RX: 8, RY: 8})
+	case "t2d4":
+		return mk(topo.Torus2D(10, 5, 4), routing.Kind{Class: routing.ClassTorus, RX: 10, RY: 5})
+	case "fbf3":
+		return mk(topo.FBF(8, 8, 3), routing.Kind{Class: routing.ClassFBF, RX: 8, RY: 8})
+	case "fbf4":
+		return mk(topo.FBF(10, 5, 4), routing.Kind{Class: routing.ClassFBF, RX: 10, RY: 5})
+	case "pfbf3":
+		return mk(topo.PFBF(2, 2, 4, 4, 3), routing.Kind{Class: routing.ClassPFBF, RX: 4, RY: 4, PX: 2, PY: 2})
+	case "pfbf4":
+		return mk(topo.PFBF(2, 1, 5, 5, 4), routing.Kind{Class: routing.ClassPFBF, RX: 5, RY: 5, PX: 2, PY: 1})
+	// N = 1296.
+	case "cm9":
+		return mk(topo.Mesh2D(12, 12, 9), routing.Kind{Class: routing.ClassMesh, RX: 12, RY: 12})
+	case "cm8":
+		return mk(topo.Mesh2D(18, 9, 8), routing.Kind{Class: routing.ClassMesh, RX: 18, RY: 9})
+	case "t2d9":
+		return mk(topo.Torus2D(12, 12, 9), routing.Kind{Class: routing.ClassTorus, RX: 12, RY: 12})
+	case "t2d8":
+		return mk(topo.Torus2D(18, 9, 8), routing.Kind{Class: routing.ClassTorus, RX: 18, RY: 9})
+	case "fbf9":
+		return mk(topo.FBF(12, 12, 9), routing.Kind{Class: routing.ClassFBF, RX: 12, RY: 12})
+	case "fbf8":
+		return mk(topo.FBF(18, 9, 8), routing.Kind{Class: routing.ClassFBF, RX: 18, RY: 9})
+	case "pfbf9":
+		return mk(topo.PFBF(2, 2, 6, 6, 9), routing.Kind{Class: routing.ClassPFBF, RX: 6, RY: 6, PX: 2, PY: 2})
+	case "pfbf8":
+		return mk(topo.PFBF(2, 1, 9, 9, 8), routing.Kind{Class: routing.ClassPFBF, RX: 9, RY: 9, PX: 2, PY: 1})
+	// N = 54 small-scale set (§5.6).
+	case "t2d54":
+		return mk(topo.Torus2D(6, 3, 3), routing.Kind{Class: routing.ClassTorus, RX: 6, RY: 3})
+	case "fbf54":
+		return mk(topo.FBF(6, 3, 3), routing.Kind{Class: routing.ClassFBF, RX: 6, RY: 3})
+	case "pfbf54":
+		return mk(topo.PFBF(2, 1, 3, 3, 3), routing.Kind{Class: routing.ClassPFBF, RX: 3, RY: 3, PX: 2, PY: 1})
+	}
+	// Slim NoCs: sn_<layout>_<N>.
+	var layout core.Layout
+	var n int
+	if _, err := fmt.Sscanf(name, "sn_basic_%d", &n); err == nil {
+		layout = core.LayoutBasic
+	} else if _, err := fmt.Sscanf(name, "sn_subgr_%d", &n); err == nil {
+		layout = core.LayoutSubgroup
+	} else if _, err := fmt.Sscanf(name, "sn_gr_%d", &n); err == nil {
+		layout = core.LayoutGroup
+	} else if _, err := fmt.Sscanf(name, "sn_rand_%d", &n); err == nil {
+		layout = core.LayoutRand
+	} else {
+		return NetSpec{}, fmt.Errorf("exp: unknown network %q", name)
+	}
+	params, err := core.FromNetworkSize(n)
+	if err != nil {
+		return NetSpec{}, err
+	}
+	s, err := core.New(params)
+	if err != nil {
+		return NetSpec{}, err
+	}
+	net, err := s.Network(layout, 1)
+	if err != nil {
+		return NetSpec{}, err
+	}
+	net.Name = name
+	return NetSpec{Name: name, Net: net, Kind: routing.Kind{Class: routing.ClassGeneric}}, nil
+}
+
+// MustNet builds a network or panics (experiment setup errors are
+// programming errors).
+func MustNet(name string) NetSpec {
+	spec, err := BuildNet(name)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// RunSpec configures one simulation point.
+type RunSpec struct {
+	Spec    NetSpec
+	VCs     int
+	Scheme  sim.BufferScheme
+	BufCap  func(int) int // EdgeBuffers sizing; nil = EB-Small (5)
+	CBCap   int
+	SMART   bool
+	H       int // explicit SMART hop factor; overrides the SMART default of 9
+	Pattern string
+	Rate    float64
+	Source  sim.Source // overrides Pattern/Rate when set
+	Policy  sim.AdaptivePolicy
+	Opts    Options
+}
+
+// Run executes one simulation point.
+func Run(rs RunSpec) (sim.Result, error) {
+	if rs.VCs == 0 {
+		rs.VCs = 2
+	}
+	rt, err := routing.NewRoutingFor(rs.Spec.Net, rs.Spec.Kind, rs.VCs)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	h := 1
+	if rs.SMART {
+		h = 9
+	}
+	if rs.H > 0 {
+		h = rs.H
+	}
+	src := rs.Source
+	if src == nil {
+		pat := traffic.PatternByName(rs.Pattern, rs.Spec.Net)
+		if pat == nil {
+			return sim.Result{}, fmt.Errorf("exp: unknown pattern %q", rs.Pattern)
+		}
+		src = &traffic.Synthetic{N: rs.Spec.Net.N(), Rate: rs.Rate, PacketFlits: 6, Pattern: pat}
+	}
+	warm, meas, drain := rs.Opts.Cycles()
+	cfg := sim.Config{
+		Net:           rs.Spec.Net,
+		Routing:       rt,
+		VCs:           rs.VCs,
+		Scheme:        rs.Scheme,
+		EdgeBufCap:    rs.BufCap,
+		CBCap:         rs.CBCap,
+		H:             h,
+		Traffic:       src,
+		Adaptive:      rs.Policy,
+		Seed:          rs.Opts.Seed + 1,
+		WarmupCycles:  warm,
+		MeasureCycles: meas,
+		DrainCycles:   drain,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// MustRun is Run with panic-on-error for experiment bodies.
+func MustRun(rs RunSpec) sim.Result {
+	res, err := Run(rs)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// fmtLoad renders a load value compactly for row labels.
+func fmtLoad(l float64) string { return fmt.Sprintf("%.3f", l) }
+
+// fmtLat renders a latency, marking saturated points like the paper omits
+// them.
+func fmtLat(r sim.Result) string {
+	if r.Saturated {
+		return "sat"
+	}
+	return fmt.Sprintf("%.1f", r.AvgLatency)
+}
+
+// sortedKeys returns map keys in sorted order for deterministic tables.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

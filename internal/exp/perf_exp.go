@@ -1,0 +1,175 @@
+// Simulation-based performance experiments: Fig. 1a, Fig. 10a, Fig. 11 and
+// Figs. 12-14.
+
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// latencySweep runs one latency-vs-load series per network.
+func latencySweep(id, title string, names []string, pattern string, smart bool,
+	vcs int, o Options) *stats.Table {
+	t := &stats.Table{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"load"}, names...),
+	}
+	specs := make([]NetSpec, len(names))
+	for i, n := range names {
+		specs[i] = MustNet(n)
+	}
+	for _, load := range o.Loads() {
+		row := []interface{}{fmtLoad(load)}
+		for _, spec := range specs {
+			res := MustRun(RunSpec{
+				Spec: spec, VCs: vcs, Pattern: pattern, Rate: load,
+				SMART: smart, Opts: o,
+			})
+			row = append(row, fmtLat(res))
+		}
+		t.AddRowF(row...)
+	}
+	return t
+}
+
+// Fig1a reproduces Fig. 1a: latency under an adversarial pattern at
+// N = 1296 for SN versus mesh, torus and FBF.
+func Fig1a(o Options) []*stats.Table {
+	return []*stats.Table{latencySweep(
+		"fig1a",
+		"Average packet latency [cycles], ADV1, N=1296, SMART (Fig. 1a)",
+		[]string{"cm9", "t2d9", "fbf9", "sn_gr_1296"},
+		"ADV1", true, 2, o)}
+}
+
+// Fig10a reproduces Fig. 10a: SN layout comparison on synthetic traffic at
+// N = 200, no SMART.
+func Fig10a(o Options) []*stats.Table {
+	var out []*stats.Table
+	for _, pat := range []string{"REV", "RND", "SHF"} {
+		out = append(out, latencySweep(
+			fmt.Sprintf("fig10a-%s", pat),
+			fmt.Sprintf("Latency per SN layout, %s, N=200, no SMART (Fig. 10a)", pat),
+			[]string{"sn_basic_200", "sn_rand_200", "sn_gr_200", "sn_subgr_200"},
+			pat, false, 2, o))
+	}
+	return out
+}
+
+// bufVariant describes one Fig. 11 buffering strategy.
+type bufVariant struct {
+	name   string
+	scheme sim.BufferScheme
+	bufCap func(int) int
+	cbCap  int
+}
+
+func bufVariants(smart bool) []bufVariant {
+	h := 1
+	if smart {
+		h = 9
+	}
+	return []bufVariant{
+		{name: "EB-Small", scheme: sim.EdgeBuffers, bufCap: func(int) int { return 5 }},
+		{name: "EB-Var", scheme: sim.EdgeBuffers, bufCap: sim.EdgeBufVar(h, 2)},
+		{name: "EB-Large", scheme: sim.EdgeBuffers, bufCap: func(int) int { return 15 }},
+		{name: "EL-Links", scheme: sim.ElasticLinks},
+		{name: "CBR-40", scheme: sim.CentralBuffer, cbCap: 40},
+		{name: "CBR-6", scheme: sim.CentralBuffer, cbCap: 6},
+	}
+}
+
+// Fig11 reproduces Fig. 11: the impact of buffering strategies on SN
+// latency, for N in {200, 1296}, with and without SMART links.
+func Fig11(o Options) []*stats.Table {
+	var out []*stats.Table
+	sizes := []struct {
+		n    int
+		spec string
+	}{{200, "sn_subgr_200"}, {1296, "sn_gr_1296"}}
+	for _, sz := range sizes {
+		for _, smart := range []bool{false, true} {
+			label := "No-SMART"
+			if smart {
+				label = "SMART"
+			}
+			t := &stats.Table{
+				ID:     fmt.Sprintf("fig11-%d-%s", sz.n, label),
+				Title:  fmt.Sprintf("Buffering strategies, N=%d, %s (Fig. 11)", sz.n, label),
+				Header: []string{"load"},
+			}
+			variants := bufVariants(smart)
+			for _, v := range variants {
+				t.Header = append(t.Header, v.name)
+			}
+			spec := MustNet(sz.spec)
+			for _, load := range o.Loads() {
+				row := []interface{}{fmtLoad(load)}
+				for _, v := range variants {
+					res := MustRun(RunSpec{
+						Spec: spec, VCs: 2, Scheme: v.scheme, BufCap: v.bufCap,
+						CBCap: v.cbCap, SMART: smart, Pattern: "RND", Rate: load,
+						Opts: o,
+					})
+					row = append(row, fmtLat(res))
+				}
+				t.AddRowF(row...)
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Fig12 reproduces Fig. 12: synthetic traffic with SMART links for the small
+// networks (N in {192, 200}).
+func Fig12(o Options) []*stats.Table {
+	var out []*stats.Table
+	for _, pat := range []string{"ADV1", "REV", "RND", "SHF"} {
+		out = append(out, latencySweep(
+			fmt.Sprintf("fig12-%s", pat),
+			fmt.Sprintf("Latency, %s, N in {192,200}, SMART (Fig. 12)", pat),
+			[]string{"cm3", "t2d3", "pfbf3", "pfbf4", "sn_subgr_200", "fbf3"},
+			pat, true, 2, o))
+	}
+	return out
+}
+
+// Fig13 reproduces Fig. 13: synthetic traffic with SMART links at N = 1296.
+func Fig13(o Options) []*stats.Table {
+	var out []*stats.Table
+	for _, pat := range []string{"ADV1", "REV", "RND", "SHF"} {
+		out = append(out, latencySweep(
+			fmt.Sprintf("fig13-%s", pat),
+			fmt.Sprintf("Latency, %s, N=1296, SMART (Fig. 13)", pat),
+			[]string{"cm9", "t2d9", "pfbf9", "sn_gr_1296", "fbf9"},
+			pat, true, 2, o))
+	}
+	return out
+}
+
+// Fig14 reproduces Fig. 14: the small networks without SMART links.
+func Fig14(o Options) []*stats.Table {
+	var out []*stats.Table
+	for _, pat := range []string{"ADV1", "REV", "RND", "SHF"} {
+		out = append(out, latencySweep(
+			fmt.Sprintf("fig14-%s", pat),
+			fmt.Sprintf("Latency, %s, N in {192,200}, no SMART (Fig. 14)", pat),
+			[]string{"cm3", "t2d3", "pfbf3", "sn_subgr_200", "fbf3"},
+			pat, false, 2, o))
+	}
+	return out
+}
+
+// Fig19Latency reproduces the latency panel of Fig. 19 (N = 54, SMART).
+func Fig19Latency(o Options) []*stats.Table {
+	return []*stats.Table{latencySweep(
+		"fig19a",
+		"Latency, RND, N=54, SMART (Fig. 19a)",
+		[]string{"fbf54", "pfbf54", "sn_subgr_54", "t2d54"},
+		"RND", true, 2, o)}
+}

@@ -1,0 +1,78 @@
+// Experiment registry: every table and figure mapped to its runner.
+
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Experiment is one registered paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) []*stats.Table
+}
+
+// Registry returns all experiments keyed by ID.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1a", "Latency under adversarial traffic, N=1296 (Fig. 1a)", Fig1a},
+		{"fig1bc", "Throughput per power, N=1296, 45/22nm (Fig. 1b/c)", Fig1bc},
+		{"fig3", "Slim Fly and Dragonfly straight on-chip (Fig. 3)", Fig3},
+		{"tab2", "Slim NoC configurations, N<=1300 (Table 2)", Table2},
+		{"tab3", "F8/F9 operation tables (Table 3)", Table3},
+		{"tab4", "Compared configurations (Table 4)", Table4},
+		{"fig5", "Layout cost analysis: M, buffers, wiring (Fig. 5)", Fig5},
+		{"fig6", "Link distance distributions (Fig. 6)", Fig6},
+		{"fig10a", "SN layouts on synthetic traffic (Fig. 10a)", Fig10a},
+		{"fig10b", "SN layouts on PARSEC/SPLASH (Fig. 10b)", Fig10b},
+		{"fig11", "Buffering strategies (Fig. 11)", Fig11},
+		{"fig12", "Small networks, SMART (Fig. 12)", Fig12},
+		{"fig13", "Large networks, SMART (Fig. 13)", Fig13},
+		{"fig14", "Small networks, no SMART (Fig. 14)", Fig14},
+		{"fig15", "Area and static power, N=200, no SMART (Fig. 15)", Fig15},
+		{"fig16", "Area/power, small networks, SMART, 45+22nm (Fig. 16)", Fig16},
+		{"fig17", "Area/power, N=1296, SMART, 45+22nm (Fig. 17)", Fig17},
+		{"tab5", "Throughput/power gains (Table 5)", Table5},
+		{"fig18", "Energy-delay on PARSEC/SPLASH (Fig. 18)", Fig18},
+		{"fig19", "Small-scale N=54 analysis (Fig. 19)", Fig19},
+		{"tab6", "SMART latency gains per benchmark (Table 6)", Table6},
+		{"fig20", "Adaptive routing study (Fig. 20)", Fig20},
+		{"sec55", "Folded Clos comparison (§5.5)", Sec55Clos},
+		{"sens-sizes", "Other network sizes (§5.5)", SensSizes},
+		{"sens-conc", "Concentration sweep (§5.5)", SensConcentration},
+		{"sens-cycle", "Cycle-time sensitivity (§5.1)", SensCycleTime},
+		{"resil", "Link-failure resilience (§2.1)", Resilience},
+		{"abl-cbsize", "Central-buffer capacity ablation (§5.2.1)", AblCBSize},
+		{"abl-vcs", "Virtual-channel count ablation (§4.3)", AblVCs},
+		{"abl-smarth", "SMART hop-factor ablation (§3.2.2)", AblSmartH},
+	}
+}
+
+// Fig19 combines the latency and area/power panels of Fig. 19.
+func Fig19(o Options) []*stats.Table {
+	return append(Fig19Latency(o), Fig19Power(o)...)
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// IDs lists registered experiment IDs in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,181 @@
+// Sensitivity and robustness analyses summarised in §5.5, plus the link-
+// failure resilience study motivated by §2.1's expander argument. These are
+// the "further analysis" experiments the paper reports as one-line
+// conclusions; here each gets a full table.
+
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// SensSizes reproduces §5.5 "Other Network Sizes": SN versus torus and FBF
+// at N in {588, 686, 1024} — latency at a moderate RND load plus total area.
+func SensSizes(o Options) []*stats.Table {
+	t := &stats.Table{
+		ID:    "sens-sizes",
+		Title: "Other network sizes (§5.5): RND latency and area",
+		Header: []string{"N", "network", "k'", "latency_cycles", "latency_ns",
+			"area_cm2"},
+	}
+	type entry struct {
+		n     int
+		specs []string
+	}
+	cases := []entry{
+		{588, []string{"sn_subgr_588", "t2d_588", "fbf_588"}},
+		{686, []string{"sn_subgr_686", "t2d_686", "fbf_686"}},
+		{1024, []string{"sn_subgr_1024", "t2d_1024", "fbf_1024"}},
+	}
+	if o.Quick {
+		cases = cases[2:]
+	}
+	t45 := power.Tech45()
+	for _, c := range cases {
+		for _, name := range c.specs {
+			spec, err := buildSensNet(name)
+			if err != nil {
+				panic(err)
+			}
+			res := MustRun(RunSpec{Spec: spec, Pattern: "RND", Rate: 0.06, SMART: true, Opts: o})
+			area := power.Area(spec.Net, bufferFor(spec.Net, true), 2, t45).Total()
+			t.AddRowF(c.n, name, spec.Net.NetworkRadix(), res.AvgLatency,
+				res.AvgLatency*spec.Net.CycleTimeNs, area)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// buildSensNet extends BuildNet with the §5.5 torus/FBF sizes.
+func buildSensNet(name string) (NetSpec, error) {
+	switch name {
+	case "t2d_588":
+		n := topo.Torus2D(14, 7, 6)
+		n.Name = name
+		return NetSpec{Name: name, Net: n, Kind: routing.Kind{Class: routing.ClassTorus, RX: 14, RY: 7}}, nil
+	case "fbf_588":
+		n := topo.FBF(14, 7, 6)
+		n.Name = name
+		return NetSpec{Name: name, Net: n, Kind: routing.Kind{Class: routing.ClassFBF, RX: 14, RY: 7}}, nil
+	case "t2d_686":
+		n := topo.Torus2D(14, 7, 7)
+		n.Name = name
+		return NetSpec{Name: name, Net: n, Kind: routing.Kind{Class: routing.ClassTorus, RX: 14, RY: 7}}, nil
+	case "fbf_686":
+		n := topo.FBF(14, 7, 7)
+		n.Name = name
+		return NetSpec{Name: name, Net: n, Kind: routing.Kind{Class: routing.ClassFBF, RX: 14, RY: 7}}, nil
+	case "t2d_1024":
+		n := topo.Torus2D(16, 8, 8)
+		n.Name = name
+		return NetSpec{Name: name, Net: n, Kind: routing.Kind{Class: routing.ClassTorus, RX: 16, RY: 8}}, nil
+	case "fbf_1024":
+		n := topo.FBF(16, 8, 8)
+		n.Name = name
+		return NetSpec{Name: name, Net: n, Kind: routing.Kind{Class: routing.ClassFBF, RX: 16, RY: 8}}, nil
+	}
+	return BuildNet(name)
+}
+
+// SensConcentration reproduces §5.5 "Concentration": SN with q=8 across the
+// Table 2 concentration range (p = 4..8), showing the node-density vs
+// contention tradeoff (κ in §2.1).
+func SensConcentration(o Options) []*stats.Table {
+	t := &stats.Table{
+		ID:    "sens-conc",
+		Title: "Concentration sweep, SN q=8 (§5.5 / §2.1 κ tradeoff)",
+		Header: []string{"p", "N", "subscription_%", "latency_cycles",
+			"throughput", "saturated"},
+	}
+	ps := []int{4, 5, 6, 7, 8}
+	if o.Quick {
+		ps = []int{4, 6, 8}
+	}
+	for _, p := range ps {
+		s, err := core.New(core.Params{Q: 8, P: p})
+		if err != nil {
+			panic(err)
+		}
+		net, err := s.Network(core.LayoutSubgroup, 1)
+		if err != nil {
+			panic(err)
+		}
+		net.Name = fmt.Sprintf("sn_q8_p%d", p)
+		spec := NetSpec{Name: net.Name, Net: net, Kind: routing.Kind{Class: routing.ClassGeneric}}
+		res := MustRun(RunSpec{Spec: spec, Pattern: "RND", Rate: 0.24, SMART: true, Opts: o})
+		t.AddRowF(p, net.N(), float64(p)/6*100, res.AvgLatency, res.Throughput, res.Saturated)
+	}
+	return []*stats.Table{t}
+}
+
+// SensCycleTime reproduces the §5.1 cycle-time accounting: the same RND run
+// reported in cycles and in nanoseconds under per-topology versus uniform
+// clocks, showing which conclusions depend on the clock model.
+func SensCycleTime(o Options) []*stats.Table {
+	t := &stats.Table{
+		ID:    "sens-cycle",
+		Title: "Cycle-time sensitivity: RND load 0.06, N in {192,200} (§5.1)",
+		Header: []string{"network", "latency_cycles", "cycle_ns",
+			"latency_ns", "latency_ns_uniform_0.5"},
+	}
+	for _, name := range []string{"cm3", "t2d3", "pfbf3", "sn_subgr_200", "fbf3"} {
+		spec := MustNet(name)
+		res := MustRun(RunSpec{Spec: spec, Pattern: "RND", Rate: 0.06, SMART: true, Opts: o})
+		cyc := spec.Net.CycleTimeNs
+		t.AddRowF(name, res.AvgLatency, cyc, res.AvgLatency*cyc, res.AvgLatency*0.5)
+	}
+	return []*stats.Table{t}
+}
+
+// Resilience verifies the §2.1 expander claim: remove a growing fraction of
+// links and compare SN's connectivity, diameter and path-length inflation
+// against torus and FBF of the same size, plus simulated latency where the
+// damaged diameter stays small enough for deadlock-free ascending VCs.
+func Resilience(o Options) []*stats.Table {
+	t := &stats.Table{
+		ID:    "resil",
+		Title: "Link-failure resilience, N=200-class networks (§2.1 expander claim)",
+		Header: []string{"fail_%", "network", "connectivity", "diameter",
+			"avg_path", "latency_cycles"},
+	}
+	fracs := []float64{0, 0.05, 0.10, 0.20}
+	if o.Quick {
+		fracs = []float64{0, 0.10}
+	}
+	names := []string{"sn_subgr_200", "fbf4", "t2d4"}
+	for _, frac := range fracs {
+		for _, name := range names {
+			base := MustNet(name)
+			net := base.Net.RemoveRandomLinks(frac, o.Seed+11)
+			conn := net.Connectivity()
+			diam := net.Diameter()
+			avg := net.AvgShortestPath()
+			lat := "n/a"
+			// Simulate only when connected and the diameter admits
+			// deadlock-free ascending VCs with a sane VC count.
+			if diam > 0 && diam <= 6 {
+				vcs := diam
+				if vcs < 2 {
+					vcs = 2
+				}
+				spec := NetSpec{Name: net.Name, Net: net,
+					Kind: routing.Kind{Class: routing.ClassGeneric}}
+				res := MustRun(RunSpec{Spec: spec, VCs: vcs, Pattern: "RND",
+					Rate: 0.06, Opts: o})
+				if res.Saturated {
+					lat = "sat"
+				} else {
+					lat = fmt.Sprintf("%.1f", res.AvgLatency)
+				}
+			}
+			t.AddRowF(fmt.Sprintf("%.0f", frac*100), name, conn, diam, avg, lat)
+		}
+	}
+	return []*stats.Table{t}
+}

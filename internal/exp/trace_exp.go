@@ -1,0 +1,147 @@
+// Trace-driven experiments: Fig. 10b (layout latency on PARSEC/SPLASH),
+// Fig. 18 (energy-delay product) and Table 6 (SMART latency gains).
+
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// runTrace executes one benchmark on one network and returns the result.
+func runTrace(spec NetSpec, b trace.Benchmark, smart bool, o Options) traceResult {
+	src := trace.NewSource(b, spec.Net.N())
+	res := MustRun(RunSpec{Spec: spec, Source: src, SMART: smart, Opts: o})
+	return traceResult{res.AvgLatency, res.Throughput, res.AvgHops}
+}
+
+type traceResult struct {
+	latency    float64
+	throughput float64
+	hops       float64
+}
+
+// Fig10b reproduces Fig. 10b: average packet latency per SN layout on the
+// PARSEC/SPLASH workloads (N = 200, no SMART).
+func Fig10b(o Options) []*stats.Table {
+	layouts := []string{"sn_basic_200", "sn_gr_200", "sn_subgr_200"}
+	t := &stats.Table{
+		ID:     "fig10b",
+		Title:  "Latency [cycles] per SN layout, PARSEC/SPLASH, N=200, no SMART (Fig. 10b)",
+		Header: append([]string{"benchmark"}, layouts...),
+	}
+	specs := make([]NetSpec, len(layouts))
+	for i, l := range layouts {
+		specs[i] = MustNet(l)
+	}
+	sums := make([][]float64, len(layouts))
+	for _, b := range benchList(o) {
+		row := []interface{}{b.Name}
+		for i, spec := range specs {
+			r := runTrace(spec, b, false, o)
+			row = append(row, r.latency)
+			sums[i] = append(sums[i], r.latency)
+		}
+		t.AddRowF(row...)
+	}
+	geo := []interface{}{"geomean"}
+	for i := range layouts {
+		geo = append(geo, stats.GeoMean(sums[i]))
+	}
+	t.AddRowF(geo...)
+	return []*stats.Table{t}
+}
+
+// benchList returns all 14 benchmarks; quick mode samples a representative
+// subset to bound run time.
+func benchList(o Options) []trace.Benchmark {
+	all := trace.Benchmarks()
+	if !o.Quick {
+		return all
+	}
+	return []trace.Benchmark{all[0], all[5], all[9], all[13]} // barnes, fft, radix, water
+}
+
+// Fig18 reproduces Fig. 18: the energy-delay product on PARSEC/SPLASH
+// normalised to FBF (N = 192/200, SMART).
+func Fig18(o Options) []*stats.Table {
+	names := []string{"fbf3", "pfbf3", "cm3", "sn_subgr_200"}
+	t := &stats.Table{
+		ID:     "fig18",
+		Title:  "Normalised energy-delay vs FBF, PARSEC/SPLASH, SMART (Fig. 18)",
+		Header: append([]string{"benchmark"}, names...),
+	}
+	t45 := power.Tech45()
+	specs := make([]NetSpec, len(names))
+	for i, nm := range names {
+		specs[i] = MustNet(nm)
+	}
+	ratios := make([][]float64, len(names))
+	for _, b := range benchList(o) {
+		edps := make([]float64, len(names))
+		for i, spec := range specs {
+			r := runTrace(spec, b, true, o)
+			n := spec.Net
+			buf := bufferFor(n, true)
+			st := power.Static(n, buf, 2, t45)
+			act := power.ActivityOf(n, r.throughput, r.hops, t45, flitBits)
+			dy := power.Dynamic(act, t45)
+			_, meas, _ := o.Cycles()
+			runSec := float64(meas) * n.CycleTimeNs * 1e-9
+			latSec := r.latency * n.CycleTimeNs * 1e-9
+			edps[i] = power.EnergyDelay(st, dy, runSec, latSec)
+		}
+		row := []interface{}{b.Name}
+		for i, e := range edps {
+			norm := e / edps[0]
+			row = append(row, norm)
+			ratios[i] = append(ratios[i], norm)
+		}
+		t.AddRowF(row...)
+	}
+	row := []interface{}{"geomean"}
+	for i := range names {
+		row = append(row, stats.GeoMean(ratios[i]))
+	}
+	t.AddRowF(row...)
+	return []*stats.Table{t}
+}
+
+// Table6 reproduces Table 6: the percentage decrease in average packet
+// latency due to SMART links, per benchmark and per topology (N = 192).
+func Table6(o Options) []*stats.Table {
+	names := []string{"fbf3", "pfbf3", "cm3", "sn_subgr_200"}
+	t := &stats.Table{
+		ID:     "tab6",
+		Title:  "Latency decrease from SMART [%], PARSEC/SPLASH (Table 6)",
+		Header: append([]string{"network"}, benchNames(o)...),
+	}
+	for _, nm := range names {
+		spec := MustNet(nm)
+		row := []interface{}{nm}
+		for _, b := range benchList(o) {
+			no := runTrace(spec, b, false, o)
+			yes := runTrace(spec, b, true, o)
+			gain := 0.0
+			if no.latency > 0 {
+				gain = (1 - yes.latency/no.latency) * 100
+			}
+			row = append(row, gain)
+		}
+		t.AddRowF(row...)
+	}
+	return []*stats.Table{t}
+}
+
+func benchNames(o Options) []string {
+	var out []string
+	for _, b := range benchList(o) {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,69 @@
+// Path-diversity analysis: the number of distinct minimal paths between
+// router pairs. The paper's §6 adaptive-routing discussion and its FBF
+// comparison hinge on how many minimal alternatives a topology offers (FBF
+// has two quadrature paths; SN's diameter-2 pairs often have several
+// two-hop options through different intermediates).
+
+package routing
+
+// PathDiversity returns, for each ordered router pair (src != dst), the
+// number of distinct minimal paths, aggregated as a histogram:
+// result[c] = number of pairs with exactly c minimal paths (c >= 1).
+func (p *Paths) PathDiversity() map[int]int {
+	nr := p.net.Nr
+	out := make(map[int]int)
+	for src := 0; src < nr; src++ {
+		for dst := 0; dst < nr; dst++ {
+			if src == dst {
+				continue
+			}
+			out[p.CountMinPaths(src, dst)]++
+		}
+	}
+	return out
+}
+
+// CountMinPaths counts the distinct minimal paths from src to dst by
+// dynamic programming over the BFS distance field.
+func (p *Paths) CountMinPaths(src, dst int) int {
+	d := p.dist[src][dst]
+	if d < 0 {
+		return 0
+	}
+	if d == 0 {
+		return 1
+	}
+	// count[r] = number of minimal paths from r to dst, filled in order of
+	// decreasing distance along the minimal DAG reachable from src.
+	memo := map[int]int{dst: 1}
+	var count func(r int) int
+	count = func(r int) int {
+		if c, ok := memo[r]; ok {
+			return c
+		}
+		total := 0
+		for _, v := range p.net.Adj[r] {
+			if p.dist[v][dst] == p.dist[r][dst]-1 {
+				total += count(v)
+			}
+		}
+		memo[r] = total
+		return total
+	}
+	return count(src)
+}
+
+// AvgPathDiversity returns the mean number of minimal paths over all
+// ordered router pairs.
+func (p *Paths) AvgPathDiversity() float64 {
+	hist := p.PathDiversity()
+	pairs, total := 0, 0
+	for c, n := range hist {
+		pairs += n
+		total += c * n
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(total) / float64(pairs)
+}

@@ -1,0 +1,258 @@
+// Dimension-ordered routing for meshes, tori (with dateline VCs) and the
+// XY-phase routing used by flattened butterflies and their partitioned
+// variant. All builders validate their paths against the adjacency at
+// construction time, so a mismatch with the topology constructors fails
+// loudly.
+
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// dorMesh routes XY on an rx x ry mesh with row-major router indices.
+type dorMesh struct {
+	net    *topo.Network
+	rx, ry int
+	vcs    int
+}
+
+// NewDORMesh builds XY dimension-order routing for a mesh built by
+// topo.Mesh2D. XY routing on a mesh is deadlock-free with any VC count.
+func NewDORMesh(net *topo.Network, rx, ry, vcs int) (PathBuilder, error) {
+	d := &dorMesh{net: net, rx: rx, ry: ry, vcs: vcs}
+	if err := spotCheck(net, d); err != nil {
+		return nil, fmt.Errorf("routing: mesh %dx%d: %v", rx, ry, err)
+	}
+	return d, nil
+}
+
+func (d *dorMesh) Route(src, dst int) ([]int, []int) {
+	x, y := src%d.rx, src/d.rx
+	dx, dy := dst%d.rx, dst/d.rx
+	path := []int{src}
+	for x != dx {
+		x += sign(dx - x)
+		path = append(path, y*d.rx+x)
+	}
+	for y != dy {
+		y += sign(dy - y)
+		path = append(path, y*d.rx+x)
+	}
+	// XY on a mesh is acyclic; spread hops across VCs round-robin.
+	vcs := make([]int, len(path)-1)
+	for i := range vcs {
+		vcs[i] = i % d.vcs
+	}
+	return path, vcs
+}
+
+func (d *dorMesh) NumVCs() int { return d.vcs }
+
+// dorTorus routes XY on a torus, taking the ring direction with the fewest
+// hops and switching to the second VC class after crossing the dateline
+// (wrap link) in either dimension.
+type dorTorus struct {
+	net    *topo.Network
+	rx, ry int
+	vcs    int
+}
+
+// NewDORTorus builds dateline XY routing for a torus built by topo.Torus2D.
+// It requires at least 2 VCs.
+func NewDORTorus(net *topo.Network, rx, ry, vcs int) (PathBuilder, error) {
+	if vcs < 2 {
+		return nil, fmt.Errorf("routing: torus dateline routing needs >= 2 VCs, got %d", vcs)
+	}
+	d := &dorTorus{net: net, rx: rx, ry: ry, vcs: vcs}
+	if err := spotCheck(net, d); err != nil {
+		return nil, fmt.Errorf("routing: torus %dx%d: %v", rx, ry, err)
+	}
+	return d, nil
+}
+
+func (d *dorTorus) Route(src, dst int) ([]int, []int) {
+	x, y := src%d.rx, src/d.rx
+	dx, dy := dst%d.rx, dst/d.rx
+	path := []int{src}
+	var wrapped []bool // per hop: have we crossed a dateline yet
+	crossed := false
+	move := func(cur, target, n int) []int {
+		// Shortest ring direction; positive wins ties.
+		var steps []int
+		fwd := ((target-cur)%n + n) % n
+		bwd := n - fwd
+		dir := 1
+		count := fwd
+		if bwd < fwd {
+			dir = -1
+			count = bwd
+		}
+		for i := 0; i < count; i++ {
+			next := ((cur+dir)%n + n) % n
+			if (cur == n-1 && next == 0) || (cur == 0 && next == n-1) {
+				crossed = true
+			}
+			cur = next
+			steps = append(steps, cur)
+		}
+		return steps
+	}
+	for _, nx := range move(x, dx, d.rx) {
+		x = nx
+		path = append(path, y*d.rx+x)
+		wrapped = append(wrapped, crossed)
+	}
+	// X and Y channels are disjoint resources, so each dimension has its own
+	// dateline; reset the crossing flag for the Y phase.
+	crossed = false
+	for _, ny := range move(y, dy, d.ry) {
+		y = ny
+		path = append(path, y*d.rx+x)
+		wrapped = append(wrapped, crossed)
+	}
+	vcs := make([]int, len(path)-1)
+	for i := range vcs {
+		if wrapped[i] {
+			vcs[i] = 1
+		}
+	}
+	return path, vcs
+}
+
+func (d *dorTorus) NumVCs() int { return d.vcs }
+
+// xyFBF routes row-first on a flattened butterfly: one hop to the
+// destination column, one hop to the destination row.
+type xyFBF struct {
+	net    *topo.Network
+	cx, cy int
+	vcs    int
+}
+
+// NewXYFBF builds XY routing for an FBF built by topo.FBF.
+func NewXYFBF(net *topo.Network, cx, cy, vcs int) (PathBuilder, error) {
+	d := &xyFBF{net: net, cx: cx, cy: cy, vcs: vcs}
+	if err := spotCheck(net, d); err != nil {
+		return nil, fmt.Errorf("routing: fbf %dx%d: %v", cx, cy, err)
+	}
+	return d, nil
+}
+
+func (d *xyFBF) Route(src, dst int) ([]int, []int) {
+	x, y := src%d.cx, src/d.cx
+	dx, dy := dst%d.cx, dst/d.cx
+	path := []int{src}
+	if x != dx {
+		path = append(path, y*d.cx+dx)
+	}
+	if y != dy {
+		path = append(path, dy*d.cx+dx)
+	}
+	return path, AscendingVCs(len(path)-1, d.vcs)
+}
+
+func (d *xyFBF) NumVCs() int { return d.vcs }
+
+// xyPFBF routes the partitioned FBF hierarchically: X phase (local column
+// adjust, then partition crossing), then Y phase (local row adjust, then
+// partition crossing). VC class 0 covers the X phase and 1 the Y phase,
+// which keeps the dependency graph acyclic.
+type xyPFBF struct {
+	net            *topo.Network
+	px, py, sx, sy int
+	vcs            int
+}
+
+// NewXYPFBF builds hierarchical XY routing for a PFBF built by topo.PFBF.
+// It requires at least 2 VCs.
+func NewXYPFBF(net *topo.Network, px, py, sx, sy, vcs int) (PathBuilder, error) {
+	if vcs < 2 {
+		return nil, fmt.Errorf("routing: pfbf routing needs >= 2 VCs, got %d", vcs)
+	}
+	d := &xyPFBF{net: net, px: px, py: py, sx: sx, sy: sy, vcs: vcs}
+	if err := spotCheck(net, d); err != nil {
+		return nil, fmt.Errorf("routing: pfbf %dx%d of %dx%d: %v", px, py, sx, sy, err)
+	}
+	return d, nil
+}
+
+func (d *xyPFBF) id(gx, gy, lx, ly int) int {
+	return ((gy*d.px+gx)*d.sy+ly)*d.sx + lx
+}
+
+func (d *xyPFBF) split(r int) (gx, gy, lx, ly int) {
+	lx = r % d.sx
+	r /= d.sx
+	ly = r % d.sy
+	r /= d.sy
+	gx = r % d.px
+	gy = r / d.px
+	return
+}
+
+func (d *xyPFBF) Route(src, dst int) ([]int, []int) {
+	gx, gy, lx, ly := d.split(src)
+	tgx, tgy, tlx, tly := d.split(dst)
+	path := []int{src}
+	var phases []int // 0 for X phase hops, 1 for Y phase hops
+	// X phase: local column, then ring of partitions along X.
+	if lx != tlx {
+		lx = tlx
+		path = append(path, d.id(gx, gy, lx, ly))
+		phases = append(phases, 0)
+	}
+	for gx != tgx {
+		gx = (gx + 1) % d.px
+		path = append(path, d.id(gx, gy, lx, ly))
+		phases = append(phases, 0)
+	}
+	// Y phase.
+	if ly != tly {
+		ly = tly
+		path = append(path, d.id(gx, gy, lx, ly))
+		phases = append(phases, 1)
+	}
+	for gy != tgy {
+		gy = (gy + 1) % d.py
+		path = append(path, d.id(gx, gy, lx, ly))
+		phases = append(phases, 1)
+	}
+	vcs := make([]int, len(path)-1)
+	copy(vcs, phases)
+	return path, vcs
+}
+
+func (d *xyPFBF) NumVCs() int { return d.vcs }
+
+func sign(x int) int {
+	if x > 0 {
+		return 1
+	}
+	if x < 0 {
+		return -1
+	}
+	return 0
+}
+
+// spotCheck validates that every route produced by the builder uses only
+// real links and terminates at the destination.
+func spotCheck(net *topo.Network, b PathBuilder) error {
+	for src := 0; src < net.Nr; src++ {
+		for dst := 0; dst < net.Nr; dst++ {
+			path, vcs := b.Route(src, dst)
+			if len(path) == 0 || path[0] != src || path[len(path)-1] != dst {
+				return fmt.Errorf("route %d->%d has bad endpoints %v", src, dst, path)
+			}
+			if len(vcs) != len(path)-1 {
+				return fmt.Errorf("route %d->%d: %d vcs for %d hops", src, dst, len(vcs), len(path)-1)
+			}
+			if !PathValid(net, path) {
+				return fmt.Errorf("route %d->%d uses a missing link: %v", src, dst, path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Adaptive routing policies for the §6 study (Fig. 20): UGAL with local and
+// global congestion knowledge, plus a minimal-adaptive scheme corresponding
+// to FBF's XY-ADAPT.
+
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/routing"
+)
+
+// UGAL implements Universal Globally-Adaptive Load-balanced routing: each
+// packet chooses between its minimal path and a Valiant path through a
+// random intermediate, weighting path length by queue occupancy. Global
+// variants see occupancy along the whole path; local variants only at the
+// source router's candidate output (§6).
+type UGAL struct {
+	// Global selects UGAL-G (whole-path occupancy); otherwise UGAL-L
+	// (first-link occupancy only).
+	Global bool
+	// VCs used for the chosen path's ascending VC assignment.
+	VCs int
+}
+
+// Choose implements AdaptivePolicy.
+func (u *UGAL) Choose(s *Sim, rng *rand.Rand, srcRouter, dstRouter int) ([]int, []int) {
+	p := s.Paths()
+	minPath := p.MinPath(srcRouter, dstRouter)
+	if len(minPath) <= 1 {
+		return minPath, nil
+	}
+	mid := p.RandomIntermediate(rng, srcRouter, dstRouter)
+	valPath := p.ValiantPath(srcRouter, mid, dstRouter)
+	var costMin, costVal int
+	if u.Global {
+		costMin = (s.PathOccupancy(minPath) + 1) * (len(minPath) - 1)
+		costVal = (s.PathOccupancy(valPath) + 1) * (len(valPath) - 1)
+	} else {
+		costMin = (s.LinkOccupancy(minPath[0], minPath[1]) + 1) * (len(minPath) - 1)
+		costVal = (s.LinkOccupancy(valPath[0], valPath[1]) + 1) * (len(valPath) - 1)
+	}
+	path := minPath
+	if costVal < costMin {
+		path = valPath
+	}
+	return path, routing.AscendingVCs(len(path)-1, u.VCs)
+}
+
+// MinAdaptive picks, per packet, the minimal next hop with the least
+// occupied first link, then follows the deterministic minimal route. On an
+// FBF this selects between the XY and YX quadrature paths, i.e. the paper's
+// XY-ADAPT comparison point.
+type MinAdaptive struct {
+	VCs int
+}
+
+// Choose implements AdaptivePolicy.
+func (m *MinAdaptive) Choose(s *Sim, rng *rand.Rand, srcRouter, dstRouter int) ([]int, []int) {
+	p := s.Paths()
+	if srcRouter == dstRouter {
+		return []int{srcRouter}, nil
+	}
+	best, bestOcc := -1, 0
+	for _, nh := range p.NextHops(srcRouter, dstRouter) {
+		occ := s.LinkOccupancy(srcRouter, nh)
+		if best < 0 || occ < bestOcc {
+			best, bestOcc = nh, occ
+		}
+	}
+	path := append([]int{srcRouter}, p.MinPath(best, dstRouter)...)
+	return path, routing.AscendingVCs(len(path)-1, m.VCs)
+}
+
+// StaticMin wraps the configured PathBuilder as an AdaptivePolicy (the MIN
+// comparison point in Fig. 20).
+type StaticMin struct {
+	B routing.PathBuilder
+}
+
+// Choose implements AdaptivePolicy.
+func (m *StaticMin) Choose(s *Sim, rng *rand.Rand, srcRouter, dstRouter int) ([]int, []int) {
+	return m.B.Route(srcRouter, dstRouter)
+}

@@ -1,0 +1,73 @@
+// Diagnostics for tests and deadlock hunting.
+
+package sim
+
+import "fmt"
+
+// StuckReport describes where in-flight flits are waiting.
+type StuckReport struct {
+	InInputBuffers int
+	OnLinks        int
+	InInjQueues    int
+	InCB           int
+	PendingEject   int
+	Details        []string
+}
+
+// Stuck scans all simulator state for resident flits, with a short
+// description of each group (capped).
+func (s *Sim) Stuck() StuckReport {
+	var rep StuckReport
+	add := func(detail string) {
+		if len(rep.Details) < 40 {
+			rep.Details = append(rep.Details, detail)
+		}
+	}
+	for r := range s.routers {
+		rs := &s.routers[r]
+		for pi := range rs.in {
+			for vc := range rs.in[pi] {
+				q := &rs.in[pi][vc].q
+				if q.len() > 0 {
+					rep.InInputBuffers += q.len()
+					f := q.front()
+					p := f.pkt
+					add(fmt.Sprintf("router %d in[%d][%d]: %d flits; head pkt %d (src %d dst %d hop %d/%d flit %d cb=%v)",
+						r, pi, vc, q.len(), p.id, p.src, p.dst, f.hop, len(p.path)-1, f.idx, p.cbState))
+				}
+			}
+		}
+		for key, q := range rs.cbQueue {
+			if q == nil {
+				continue
+			}
+			for _, cp := range *q {
+				if cp.stored.len() > 0 || cp.expected > 0 {
+					rep.InCB += cp.stored.len()
+					add(fmt.Sprintf("router %d CB (port %d vc %d): pkt %d stored %d expected %d",
+						r, key/64, key%64, cp.pkt.id, cp.stored.len(), cp.expected))
+				}
+			}
+		}
+	}
+	for li := range s.links {
+		l := &s.links[li]
+		for vc := range l.inflight {
+			if n := len(l.inflight[vc]); n > 0 {
+				rep.OnLinks += n
+				f := l.inflight[vc][0].f
+				add(fmt.Sprintf("link %d->%d vc %d: %d flits (head pkt %d arrive %d, now %d)",
+					l.from, l.to, vc, n, f.pkt.id, l.inflight[vc][0].arrive, s.now))
+			}
+		}
+	}
+	for v := range s.nics {
+		if n := s.nics[v].injQ.len(); n > 0 {
+			rep.InInjQueues += n
+			f := s.nics[v].injQ.front()
+			add(fmt.Sprintf("node %d injQ: %d flits (pkt %d dst %d)", v, n, f.pkt.id, f.pkt.dst))
+		}
+	}
+	rep.PendingEject = len(s.ejectDelayed)
+	return rep
+}

@@ -1,0 +1,348 @@
+// Router pipeline: switch allocation, central-buffer management, injection
+// and ejection. One call to stepRouters advances every router by one cycle.
+
+package sim
+
+// routerDelay is the router pipeline latency added to every traversal: the
+// paper's 2-stage edge-buffer pipeline and the CBR bypass path both take 2
+// cycles; the CBR buffered path takes 4 (§4.1, §5.1).
+const (
+	routerDelayDirect   = 2
+	routerDelayBuffered = 4
+)
+
+// stepRouters performs ejection, central-buffer reads/writes, switch
+// allocation and injection for every router.
+func (s *Sim) stepRouters() {
+	if s.ejUsed == nil {
+		s.ejUsed = make([]bool, s.net.N())
+	} else {
+		for i := range s.ejUsed {
+			s.ejUsed[i] = false
+		}
+	}
+	for r := range s.routers {
+		s.stepRouter(&s.routers[r])
+	}
+}
+
+func (s *Sim) stepRouter(rs *routerState) {
+	kp := rs.kp
+	outUsed := make([]bool, kp)
+	inUsed := make([]bool, kp)
+
+	// 1. Central-buffer read port: drain at most one flit from the CB.
+	if s.cfg.Scheme == CentralBuffer {
+		s.cbDrain(rs, outUsed)
+	}
+
+	// 2. Network inputs: iterate ports with a rotating start for fairness.
+	cbWrote := false
+	for off := 0; off < kp; off++ {
+		pi := (rs.rrIn + off) % kp
+		if inUsed[pi] {
+			continue
+		}
+		for vc := 0; vc < s.cfg.VCs; vc++ {
+			in := &rs.in[pi][vc]
+			if in.q.empty() {
+				continue
+			}
+			f := in.q.front()
+			if s.tryAdvance(rs, f, outUsed, &cbWrote, pi, vc) {
+				inUsed[pi] = true
+				break
+			}
+		}
+	}
+	rs.rrIn++
+	if rs.rrIn >= kp && kp > 0 {
+		rs.rrIn = 0
+	}
+
+	// 3. Injection: each attached node may insert one flit per cycle.
+	for _, node := range s.net.RouterNodes(rs.id) {
+		nc := &s.nics[node]
+		if nc.injQ.empty() {
+			continue
+		}
+		f := nc.injQ.front()
+		p := f.pkt
+		if int(f.hop) == len(p.path)-1 {
+			// Same-router destination: eject directly.
+			slot := s.ejSlot(p.dst)
+			if s.ejUsed[slot] {
+				continue
+			}
+			s.ejUsed[slot] = true
+			nc.injQ.pop()
+			s.ejectWithDelay(f)
+			continue
+		}
+		outPort := s.portToward(rs.id, int(p.path[f.hop+1]))
+		outVC := int(p.vcs[f.hop])
+		if outUsed[outPort] {
+			continue
+		}
+		if !s.outputReady(rs, p, outPort, outVC, f.head()) {
+			continue
+		}
+		nc.injQ.pop()
+		s.sendFlit(rs, f, outPort, outVC, routerDelayDirect)
+		outUsed[outPort] = true
+	}
+}
+
+// tryAdvance attempts to move the head flit of input (pi, vc). Returns true
+// if the flit was consumed.
+func (s *Sim) tryAdvance(rs *routerState, f flit, outUsed []bool, cbWrote *bool, pi, vc int) bool {
+	p := f.pkt
+	if int(p.path[f.hop]) != rs.id {
+		panic("sim: flit at wrong router")
+	}
+	// Ejection.
+	if int(f.hop) == len(p.path)-1 {
+		slot := s.ejSlot(p.dst)
+		if s.ejUsed[slot] {
+			return false
+		}
+		s.ejUsed[slot] = true
+		s.popInput(rs, pi, vc)
+		s.ejectWithDelay(f)
+		return true
+	}
+	outPort := s.portToward(rs.id, int(p.path[f.hop+1]))
+	outVC := int(p.vcs[f.hop])
+
+	if s.cfg.Scheme == CentralBuffer {
+		return s.tryAdvanceCBR(rs, f, outUsed, cbWrote, pi, vc, outPort, outVC)
+	}
+	if outUsed[outPort] {
+		return false
+	}
+	if !s.outputReady(rs, p, outPort, outVC, f.head()) {
+		return false
+	}
+	s.popInput(rs, pi, vc)
+	s.sendFlit(rs, f, outPort, outVC, routerDelayDirect)
+	outUsed[outPort] = true
+	return true
+}
+
+// tryAdvanceCBR handles the central-buffer router's bypass-vs-buffered
+// decision (§4.1): head flits pick the 2-cycle bypass when the output VC is
+// free and no CB traffic is queued for it; otherwise the whole packet
+// reserves CB space atomically (§4.3) and streams through the buffered
+// 4-cycle path.
+func (s *Sim) tryAdvanceCBR(rs *routerState, f flit, outUsed []bool, cbWrote *bool, pi, vc, outPort, outVC int) bool {
+	p := f.pkt
+	key := cbKey(outPort, outVC)
+	if p.cbState == nil {
+		p.cbState = make([]uint8, len(p.path))
+	}
+	if f.head() && p.cbState[f.hop] == 0 {
+		// Decide once per router visit.
+		queueEmpty := true
+		if q := rs.cbQueue[key]; q != nil && len(*q) > 0 {
+			queueEmpty = false
+		}
+		if queueEmpty && rs.outOwner[outPort][outVC] == -1 && !outUsed[outPort] &&
+			s.linkHasRoom(rs, outPort, outVC) {
+			p.cbState[f.hop] = 1 // bypass
+		} else if rs.cbFree >= p.flits {
+			rs.cbFree -= p.flits
+			p.cbState[f.hop] = 2 // buffered
+			cp := &cbPacket{pkt: p, outPort: outPort, outVC: outVC, expected: p.flits}
+			q := rs.cbQueue[key]
+			if q == nil {
+				q = new([]*cbPacket)
+				rs.cbQueue[key] = q
+			}
+			*q = append(*q, cp)
+		} else {
+			return false // wait for CB space or the output
+		}
+	}
+	if p.cbState[f.hop] == 0 {
+		// Body flit ahead of its head's decision: cannot happen in FIFO
+		// order; treat as a stall defensively.
+		return false
+	}
+	if p.cbState[f.hop] == 2 {
+		// CB write port: one flit per router per cycle.
+		if *cbWrote {
+			return false
+		}
+		q := rs.cbQueue[key]
+		for _, cp := range *q {
+			if cp.pkt == p {
+				s.popInput(rs, pi, vc)
+				cp.stored.push(f)
+				cp.expected--
+				*cbWrote = true
+				return true
+			}
+		}
+		return false
+	}
+	// Bypass path: behaves like a direct wormhole traversal.
+	if outUsed[outPort] {
+		return false
+	}
+	if !s.outputReady(rs, p, outPort, outVC, f.head()) {
+		return false
+	}
+	s.popInput(rs, pi, vc)
+	s.bypassFlits++
+	s.sendFlit(rs, f, outPort, outVC, routerDelayDirect)
+	outUsed[outPort] = true
+	return true
+}
+
+// cbDrain moves at most one flit from the central buffer to an output (the
+// CB's single read port), scanning (port, vc) queues in a deterministic
+// rotating order.
+func (s *Sim) cbDrain(rs *routerState, outUsed []bool) {
+	total := rs.kp * s.cfg.VCs
+	start := int(s.now) % maxi(total, 1)
+	for off := 0; off < total; off++ {
+		slot := (start + off) % total
+		outPort, outVC := slot/s.cfg.VCs, slot%s.cfg.VCs
+		q := rs.cbQueue[cbKey(outPort, outVC)]
+		if q == nil || len(*q) == 0 {
+			continue
+		}
+		cp := (*q)[0]
+		if cp.stored.empty() {
+			continue
+		}
+		if outUsed[outPort] {
+			continue
+		}
+		f := cp.stored.front()
+		if !s.outputReady(rs, cp.pkt, outPort, outVC, f.head()) {
+			continue
+		}
+		cp.stored.pop()
+		rs.cbFree++
+		s.bufferedFlits++
+		s.sendFlit(rs, f, outPort, outVC, routerDelayBuffered)
+		outUsed[outPort] = true
+		if f.tail() {
+			*q = (*q)[1:]
+		}
+		return // single read port
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func cbKey(port, vc int) int { return port*64 + vc }
+
+// outputReady checks VC ownership and downstream space for one flit.
+func (s *Sim) outputReady(rs *routerState, p *packet, outPort, outVC int, head bool) bool {
+	owner := rs.outOwner[outPort][outVC]
+	if head {
+		if owner != -1 {
+			return false
+		}
+	} else if owner != p.id {
+		return false
+	}
+	if s.cfg.Scheme == EdgeBuffers {
+		return rs.credits[outPort][outVC] > 0
+	}
+	return s.linkHasRoom(rs, outPort, outVC)
+}
+
+// linkHasRoom reports whether the elastic link pipeline toward outPort can
+// accept another flit on outVC (capacity = latency stages + 1 slave latch).
+func (s *Sim) linkHasRoom(rs *routerState, outPort, outVC int) bool {
+	l := &s.links[rs.outLink[outPort]]
+	return l.perVCInFly[outVC] < int(l.latency)+1
+}
+
+// sendFlit commits a flit to an output: ownership transitions, credit
+// consumption, link occupancy, and the traversal itself.
+func (s *Sim) sendFlit(rs *routerState, f flit, outPort, outVC int, delay int64) {
+	p := f.pkt
+	if f.head() {
+		rs.outOwner[outPort][outVC] = p.id
+	}
+	if f.tail() {
+		rs.outOwner[outPort][outVC] = -1
+	}
+	if s.cfg.Scheme == EdgeBuffers {
+		rs.credits[outPort][outVC]--
+		if rs.credits[outPort][outVC] < 0 {
+			panic("sim: negative credits")
+		}
+	}
+	l := &s.links[rs.outLink[outPort]]
+	f.hop++
+	l.inflight[outVC] = append(l.inflight[outVC], linkFlit{f: f, arrive: s.now + delay + l.latency})
+	l.perVCInFly[outVC]++
+	l.occupancy++
+}
+
+// popInput removes the head flit from input (pi, vc): returns a credit
+// upstream (EdgeBuffers) and updates the UGAL occupancy signal.
+func (s *Sim) popInput(rs *routerState, pi, vc int) {
+	rs.in[pi][vc].q.pop()
+	l := &s.links[rs.inLink[pi]]
+	l.occupancy--
+	if s.cfg.Scheme == EdgeBuffers {
+		s.credits = append(s.credits, creditEvent{
+			at:     s.now + l.latency,
+			router: l.from,
+			port:   rs.revPort[pi],
+			vc:     vc,
+		})
+	}
+}
+
+// portToward returns the output port index at router r leading to neighbour
+// nxt.
+func (s *Sim) portToward(r, nxt int) int {
+	adj := s.net.Adj[r]
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < nxt {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(adj) || adj[lo] != nxt {
+		panic("sim: route uses a missing link")
+	}
+	return lo
+}
+
+// ejSlot identifies a node's ejection port (one per node).
+func (s *Sim) ejSlot(node int) int { return node }
+
+// ejectWithDelay consumes a flit at its destination, accounting for the
+// final router traversal.
+func (s *Sim) ejectWithDelay(f flit) {
+	s.ejectDelayed = append(s.ejectDelayed, linkFlit{f: f, arrive: s.now + routerDelayDirect})
+}
+
+// flushEjections completes delayed ejections whose router traversal is done.
+func (s *Sim) flushEjections() {
+	out := s.ejectDelayed[:0]
+	for _, e := range s.ejectDelayed {
+		if e.arrive <= s.now {
+			s.eject(e.f)
+		} else {
+			out = append(out, e)
+		}
+	}
+	s.ejectDelayed = out
+}

@@ -1,0 +1,668 @@
+// Package sim is a cycle-accurate flit-level network-on-chip simulator, the
+// reproduction's stand-in for the paper's in-house simulator (§5.1). It
+// models virtual-channel wormhole routers with credit-based flow control and
+// multi-cycle links, plus the paper's microarchitectural extensions:
+// central-buffer routers with a 2-cycle bypass and 4-cycle buffered path
+// (§4.1), ElastiStore-style elastic links (link pipeline registers as
+// storage, §4.2), and SMART links that traverse H grid hops per cycle
+// (§3.2.2). Packets are source-routed with per-hop VC assignments supplied
+// by internal/routing, which guarantees deadlock freedom (§4.3).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+// BufferScheme selects the router/link storage organisation (§5.1).
+type BufferScheme int
+
+// Buffering strategies evaluated in Fig. 11.
+const (
+	// EdgeBuffers: per-VC multi-flit input buffers, credit flow control.
+	EdgeBuffers BufferScheme = iota
+	// CentralBuffer: 1-flit input staging per VC plus a shared central
+	// buffer; elastic links provide in-flight storage.
+	CentralBuffer
+	// ElasticLinks: no input buffers beyond a 1-flit staging latch per VC;
+	// the link pipeline registers hold in-flight flits.
+	ElasticLinks
+)
+
+// Config describes one simulation.
+type Config struct {
+	Net     *topo.Network
+	Routing routing.PathBuilder
+	VCs     int
+
+	Scheme BufferScheme
+	// EdgeBufCap returns the per-VC input-buffer capacity in flits for a
+	// link of the given Manhattan length (EdgeBuffers only). The paper's
+	// EB-Small/EB-Large use constants 5/15; EB-Var sizes each buffer for
+	// 100% utilisation of its wire.
+	EdgeBufCap func(dist int) int
+	// CBCap is the central-buffer capacity in flits (CentralBuffer only).
+	CBCap int
+
+	// H is the number of grid hops a flit traverses per link cycle: 1
+	// without SMART, ~9 with SMART at 45 nm (§5.1).
+	H int
+
+	PacketFlits int   // flits per packet for synthetic traffic (paper: 6)
+	InjQueueCap int   // NIC injection queue capacity in flits (paper: 20)
+	Seed        int64 // RNG seed (injection processes, adaptive choices)
+
+	// Traffic supplies injections; see Source.
+	Traffic Source
+
+	// Adaptive optionally overrides per-packet path selection (UGAL etc.).
+	Adaptive AdaptivePolicy
+
+	WarmupCycles  int64
+	MeasureCycles int64
+	DrainCycles   int64
+}
+
+// Source generates traffic. Generate is called once per cycle and emits
+// packets via the callback; class is an opaque tag carried to OnDelivered.
+type Source interface {
+	Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int))
+	// OnDelivered is invoked when a packet is fully ejected; sources may
+	// emit replies (e.g. read responses in trace-driven mode).
+	OnDelivered(t int64, src, dst, flits, class int, emit func(src, dst, flits, class int))
+}
+
+// AdaptivePolicy chooses a packet's route given live network state.
+type AdaptivePolicy interface {
+	// Choose returns the router path and per-hop VCs for a packet from
+	// srcRouter to dstRouter.
+	Choose(s *Sim, rng *rand.Rand, srcRouter, dstRouter int) (path []int, vcs []int)
+}
+
+// Defaults match the paper's evaluation setup (§5.1).
+func (c *Config) setDefaults() {
+	if c.VCs == 0 {
+		c.VCs = 2
+	}
+	if c.H == 0 {
+		c.H = 1
+	}
+	if c.PacketFlits == 0 {
+		c.PacketFlits = 6
+	}
+	if c.InjQueueCap == 0 {
+		c.InjQueueCap = 20
+	}
+	if c.EdgeBufCap == nil {
+		c.EdgeBufCap = func(int) int { return 5 }
+	}
+	if c.CBCap == 0 {
+		c.CBCap = 20
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 5000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 20000
+	}
+	if c.DrainCycles == 0 {
+		c.DrainCycles = 20000
+	}
+}
+
+// EdgeBufVar returns the EB-Var sizing function: the minimal per-VC buffer
+// for 100% utilisation of a wire of the given length (δij/|VC| from §3.2.2).
+func EdgeBufVar(h, vcs int) func(dist int) int {
+	if h < 1 {
+		h = 1
+	}
+	return func(dist int) int {
+		if dist < 1 {
+			dist = 1
+		}
+		return 2*((dist+h-1)/h) + 3
+	}
+}
+
+// packet is one in-flight packet.
+type packet struct {
+	id       int64
+	src, dst int // nodes
+	path     []int32
+	vcs      []uint8
+	flits    int
+	class    int
+	genTime  int64
+	tracked  bool
+	// flitsMoved counts flits transferred from the source queue into the
+	// NIC injection buffer.
+	flitsMoved int
+	// cbState records the central-buffer router's bypass-vs-buffered
+	// decision per hop (§4.1): 0 undecided, 1 bypass, 2 buffered. Indexed
+	// by hop because head and tail flits of one packet can occupy
+	// different routers simultaneously.
+	cbState []uint8
+}
+
+// flit references its packet and position.
+type flit struct {
+	pkt *packet
+	idx int32 // 0 = head; pkt.flits-1 = tail
+	hop int32 // hop index: the link path[hop] -> path[hop+1] it travels next
+}
+
+func (f flit) head() bool { return f.idx == 0 }
+func (f flit) tail() bool { return int(f.idx) == f.pkt.flits-1 }
+
+// fifo is a simple flit queue.
+type fifo struct {
+	buf []flit
+}
+
+func (q *fifo) len() int    { return len(q.buf) }
+func (q *fifo) empty() bool { return len(q.buf) == 0 }
+func (q *fifo) front() flit { return q.buf[0] }
+func (q *fifo) push(f flit) { q.buf = append(q.buf, f) }
+func (q *fifo) pop() flit {
+	f := q.buf[0]
+	q.buf = q.buf[1:]
+	if len(q.buf) == 0 && cap(q.buf) > 64 {
+		q.buf = nil
+	}
+	return f
+}
+
+// linkFlit is a flit in flight on a wire.
+type linkFlit struct {
+	f      flit
+	arrive int64
+}
+
+// link is a directed wire between routers. In elastic modes the pipeline
+// registers themselves store flits (per-VC, ElastiStore-style independent
+// handshakes), so inflight is kept per VC.
+type link struct {
+	from, to   int // routers
+	toPort     int // input port index at the destination router
+	latency    int64
+	inflight   [][]linkFlit // per VC
+	perVCInFly []int        // flits in flight per VC
+	occupancy  int          // flits on the wire plus downstream (UGAL signal)
+}
+
+// creditEvent returns a credit to (router, port, vc) at a future cycle.
+type creditEvent struct {
+	at       int64
+	router   int
+	port, vc int
+}
+
+// inputVC is one input buffer (port, vc) at a router.
+type inputVC struct {
+	q   fifo
+	cap int
+}
+
+// cbPacket is a packet resident in (or streaming through) a central buffer.
+type cbPacket struct {
+	pkt      *packet
+	outPort  int
+	outVC    int
+	stored   fifo // flits currently in the CB
+	expected int  // flits still to arrive into the CB
+}
+
+// routerState holds all per-router simulation state.
+type routerState struct {
+	id    int
+	kp    int // network ports
+	ports int // kp + ejection ports handled separately
+	// in[port][vc]; port 0..kp-1 are network inputs (from Adj order).
+	in [][]inputVC
+	// outOwner[port][vc]: packet id owning the output VC, or -1.
+	outOwner [][]int64
+	// credits[port][vc] for EdgeBuffers (slots free at downstream input).
+	credits [][]int
+	// outLink[port]: index into Sim.links for each network output.
+	outLink []int
+	// inLink[port]: link arriving at this input; revPort[port]: this
+	// router's position in the upstream router's adjacency (credit target).
+	inLink  []int
+	revPort []int
+	// CBR state.
+	cbFree  int
+	cbQueue map[int]*[]*cbPacket // key port*64+vc -> FIFO of CB packets
+	// round-robin pointers for switch allocation fairness
+	rrIn int
+}
+
+// nic is one node's network interface.
+type nic struct {
+	node    int
+	srcQ    []*packet // unbounded source queue (open-loop measurement)
+	injQ    fifo      // bounded injection buffer (flits)
+	injCap  int
+	ejected int64
+}
+
+// Sim is a runnable simulation instance.
+type Sim struct {
+	cfg     Config
+	net     *topo.Network
+	rng     *rand.Rand
+	now     int64
+	routers []routerState
+	links   []link
+	// linkIndex[from][portAtFrom] = link id; portOf[r][neighbor index] maps.
+	portAt  [][]int // portAt[r] maps adjacency position -> input port at peer
+	nics    []nic
+	credits []creditEvent // pending credit returns (unsorted; scanned per cycle)
+	paths   *routing.Paths
+
+	ejUsed       []bool     // per-node ejection port budget, reset each cycle
+	ejectDelayed []linkFlit // flits finishing their last router traversal
+
+	nextPktID int64
+
+	// Stats.
+	Result        Result
+	lat           []int64
+	genMeasured   int64 // tracked packets generated
+	doneMeasured  int64 // tracked packets delivered
+	flitsEjected  int64 // during measurement window
+	flitsInjected int64
+	inFlightFlits int64
+	totalHops     int64
+	hopPackets    int64
+	// CBR path statistics: flits forwarded on the 2-cycle bypass vs the
+	// 4-cycle buffered path (§4.1).
+	bypassFlits   int64
+	bufferedFlits int64
+	lastEject     int64 // cycle of the most recent ejection (deadlock watchdog)
+}
+
+// Result summarises one run.
+type Result struct {
+	AvgLatency  float64 // cycles, tracked packets
+	P99Latency  float64
+	Throughput  float64 // accepted flits/node/cycle during measurement
+	OfferedLoad float64 // generated flits/node/cycle during measurement
+	Delivered   int64
+	Generated   int64
+	Saturated   bool // <95% of tracked packets delivered by the end
+	AvgHops     float64
+	Cycles      int64
+	// DeadlockSuspected is set when flits remained in flight with no
+	// ejection progress through the second half of the drain phase — the
+	// watchdog for routing/flow-control bugs (a correctly configured
+	// network never triggers it).
+	DeadlockSuspected bool
+}
+
+// New builds a simulation from the config.
+func New(cfg Config) (*Sim, error) {
+	cfg.setDefaults()
+	if cfg.Net == nil || cfg.Routing == nil || cfg.Traffic == nil {
+		return nil, fmt.Errorf("sim: Net, Routing and Traffic are required")
+	}
+	if cfg.Net.NodeMap != nil {
+		return nil, fmt.Errorf("sim: indirect networks (node maps) are not simulated")
+	}
+	s := &Sim{
+		cfg: cfg,
+		net: cfg.Net,
+		rng: rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	nr := s.net.Nr
+	s.routers = make([]routerState, nr)
+	s.portAt = make([][]int, nr)
+	// Build links and router state.
+	for r := 0; r < nr; r++ {
+		adj := s.net.Adj[r]
+		kp := len(adj)
+		rs := &s.routers[r]
+		rs.id = r
+		rs.kp = kp
+		rs.in = make([][]inputVC, kp)
+		rs.outOwner = make([][]int64, kp)
+		rs.credits = make([][]int, kp)
+		rs.outLink = make([]int, kp)
+		rs.inLink = make([]int, kp)
+		rs.revPort = make([]int, kp)
+		rs.cbFree = cfg.CBCap
+		rs.cbQueue = make(map[int]*[]*cbPacket)
+		s.portAt[r] = make([]int, kp)
+	}
+	for r := 0; r < nr; r++ {
+		adj := s.net.Adj[r]
+		for pi, nb := range adj {
+			// Input port pi at r receives from nb; find r's position in
+			// nb's adjacency to wire the reverse direction.
+			dist := 1
+			if s.net.Coords != nil {
+				dist = topo.ManhattanDist(s.net.Coords[r], s.net.Coords[nb])
+				if dist < 1 {
+					dist = 1
+				}
+			}
+			lat := int64((dist + cfg.H - 1) / cfg.H)
+			if lat < 1 {
+				lat = 1
+			}
+			l := link{
+				from: nb, to: r, toPort: pi, latency: lat,
+				perVCInFly: make([]int, cfg.VCs),
+				inflight:   make([][]linkFlit, cfg.VCs),
+			}
+			s.links = append(s.links, l)
+			lid := len(s.links) - 1
+			// Record at the sender.
+			sender := &s.routers[nb]
+			pos := portIndex(s.net.Adj[nb], r)
+			sender.outLink[pos] = lid
+			rs0 := &s.routers[r]
+			rs0.inLink[pi] = lid
+			rs0.revPort[pi] = pos
+			// Input buffer capacity.
+			capFlits := 1
+			if cfg.Scheme == EdgeBuffers {
+				capFlits = cfg.EdgeBufCap(dist)
+				if capFlits < 1 {
+					capFlits = 1
+				}
+			}
+			rs := &s.routers[r]
+			rs.in[pi] = make([]inputVC, cfg.VCs)
+			for v := range rs.in[pi] {
+				rs.in[pi][v] = inputVC{cap: capFlits}
+			}
+		}
+	}
+	// Init owners and credits now that capacities are known.
+	for r := 0; r < nr; r++ {
+		rs := &s.routers[r]
+		for pi := range rs.outOwner {
+			rs.outOwner[pi] = make([]int64, cfg.VCs)
+			rs.credits[pi] = make([]int, cfg.VCs)
+			for v := 0; v < cfg.VCs; v++ {
+				rs.outOwner[pi][v] = -1
+				l := s.links[rs.outLink[pi]]
+				rs.credits[pi][v] = s.routers[l.to].in[l.toPort][v].cap
+			}
+		}
+	}
+	// NICs.
+	s.nics = make([]nic, s.net.N())
+	for v := range s.nics {
+		s.nics[v] = nic{node: v, injCap: cfg.InjQueueCap}
+	}
+	return s, nil
+}
+
+func portIndex(adj []int, target int) int {
+	for i, v := range adj {
+		if v == target {
+			return i
+		}
+	}
+	panic("sim: adjacency not symmetric")
+}
+
+// InFlight returns the number of flits currently inside the network,
+// injection queues, or links — zero after a fully drained run. Exposed for
+// conservation checks.
+func (s *Sim) InFlight() int64 { return s.inFlightFlits }
+
+// CBPathStats returns the number of flits that took the central-buffer
+// router's bypass path versus its buffered path (meaningful only for
+// Scheme == CentralBuffer).
+func (s *Sim) CBPathStats() (bypass, buffered int64) {
+	return s.bypassFlits, s.bufferedFlits
+}
+
+// Paths lazily builds all-pairs shortest paths (used by adaptive policies).
+func (s *Sim) Paths() *routing.Paths {
+	if s.paths == nil {
+		s.paths = routing.NewMinimal(s.net)
+	}
+	return s.paths
+}
+
+// LinkOccupancy returns the current flit occupancy of the directed link from
+// router a toward router b (UGAL congestion signal), or 0 if absent.
+func (s *Sim) LinkOccupancy(a, b int) int {
+	pos := -1
+	for i, nb := range s.net.Adj[a] {
+		if nb == b {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return 0
+	}
+	return s.links[s.routers[a].outLink[pos]].occupancy
+}
+
+// PathOccupancy sums link occupancy along a router path (UGAL-G signal).
+func (s *Sim) PathOccupancy(path []int) int {
+	total := 0
+	for i := 1; i < len(path); i++ {
+		total += s.LinkOccupancy(path[i-1], path[i])
+	}
+	return total
+}
+
+// Run executes the configured warmup + measurement + drain and returns the
+// result.
+func (s *Sim) Run() Result {
+	cfg := &s.cfg
+	total := cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles
+	for s.now = 0; s.now < total; s.now++ {
+		s.stepGenerate()
+		s.stepCredits()
+		s.flushEjections()
+		s.stepLinks()
+		s.stepRouters()
+		s.stepInject()
+	}
+	// Account for ejections still completing their final router traversal.
+	s.now = total + routerDelayDirect
+	s.flushEjections()
+	s.now = total
+	res := &s.Result
+	res.Cycles = total
+	res.DeadlockSuspected = s.inFlightFlits > 0 && s.lastEject < total-s.cfg.DrainCycles/2
+	res.Generated = s.genMeasured
+	res.Delivered = s.doneMeasured
+	if len(s.lat) > 0 {
+		var sum int64
+		for _, l := range s.lat {
+			sum += l
+		}
+		res.AvgLatency = float64(sum) / float64(len(s.lat))
+		res.P99Latency = percentile(s.lat, 0.99)
+	}
+	n := float64(s.net.N())
+	res.Throughput = float64(s.flitsEjected) / (n * float64(cfg.MeasureCycles))
+	res.OfferedLoad = float64(s.flitsInjected) / (n * float64(cfg.MeasureCycles))
+	res.Saturated = s.genMeasured > 0 && float64(s.doneMeasured) < 0.95*float64(s.genMeasured)
+	if s.hopPackets > 0 {
+		res.AvgHops = float64(s.totalHops) / float64(s.hopPackets)
+	}
+	return *res
+}
+
+func percentile(xs []int64, p float64) float64 {
+	// Partial selection via simple sort copy; stats are small.
+	cp := append([]int64(nil), xs...)
+	// insertion-free: use sort from stdlib
+	sortInt64s(cp)
+	idx := int(p * float64(len(cp)-1))
+	return float64(cp[idx])
+}
+
+func sortInt64s(xs []int64) {
+	// Shell sort: avoids pulling in sort for a hot-free path.
+	n := len(xs)
+	for gap := n / 2; gap > 0; gap /= 2 {
+		for i := gap; i < n; i++ {
+			tmp := xs[i]
+			j := i
+			for ; j >= gap && xs[j-gap] > tmp; j -= gap {
+				xs[j] = xs[j-gap]
+			}
+			xs[j] = tmp
+		}
+	}
+}
+
+// stepGenerate invokes the traffic source and enqueues new packets on source
+// queues. Generation stops at the end of the measurement window so the drain
+// phase empties the network; a non-zero InFlight after Run therefore
+// indicates a deadlock or livelock.
+func (s *Sim) stepGenerate() {
+	if s.now >= s.cfg.WarmupCycles+s.cfg.MeasureCycles {
+		return
+	}
+	measuring := s.now >= s.cfg.WarmupCycles
+	s.cfg.Traffic.Generate(s.now, s.rng, func(src, dst, flits, class int) {
+		s.enqueuePacket(src, dst, flits, class, measuring)
+	})
+}
+
+func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
+	if flits <= 0 {
+		flits = s.cfg.PacketFlits
+	}
+	srcR := s.net.NodeRouter(src)
+	dstR := s.net.NodeRouter(dst)
+	var path []int
+	var vcs []int
+	if s.cfg.Adaptive != nil {
+		path, vcs = s.cfg.Adaptive.Choose(s, s.rng, srcR, dstR)
+	} else {
+		path, vcs = s.cfg.Routing.Route(srcR, dstR)
+	}
+	p := &packet{
+		id:      s.nextPktID,
+		src:     src,
+		dst:     dst,
+		flits:   flits,
+		class:   class,
+		genTime: s.now,
+		tracked: tracked,
+	}
+	s.nextPktID++
+	p.path = make([]int32, len(path))
+	for i, r := range path {
+		p.path[i] = int32(r)
+	}
+	p.vcs = make([]uint8, len(vcs))
+	for i, v := range vcs {
+		p.vcs[i] = uint8(v)
+	}
+	if tracked {
+		s.genMeasured++
+	}
+	s.nics[src].srcQ = append(s.nics[src].srcQ, p)
+}
+
+// stepCredits applies due credit returns.
+func (s *Sim) stepCredits() {
+	out := s.credits[:0]
+	for _, ev := range s.credits {
+		if ev.at <= s.now {
+			s.routers[ev.router].credits[ev.port][ev.vc]++
+		} else {
+			out = append(out, ev)
+		}
+	}
+	s.credits = out
+}
+
+// stepLinks delivers arrived flits into input buffers (or CB staging), one
+// VC lane at a time (ElastiStore-style independent per-VC handshakes).
+func (s *Sim) stepLinks() {
+	for li := range s.links {
+		l := &s.links[li]
+		for vc := range l.inflight {
+			lane := l.inflight[vc]
+			for len(lane) > 0 && lane[0].arrive <= s.now {
+				f := lane[0].f
+				in := &s.routers[l.to].in[l.toPort][vc]
+				if s.cfg.Scheme != EdgeBuffers && in.q.len() >= in.cap {
+					break // elastic backpressure: flit waits in the pipeline
+				}
+				in.q.push(f)
+				lane = lane[1:]
+				l.perVCInFly[vc]--
+			}
+			if len(lane) == 0 {
+				lane = nil
+			}
+			l.inflight[vc] = lane
+		}
+	}
+}
+
+// stepInject moves flits from source queues into NIC injection buffers.
+func (s *Sim) stepInject() {
+	for v := range s.nics {
+		nc := &s.nics[v]
+		for len(nc.srcQ) > 0 {
+			p := nc.srcQ[0]
+			// Move remaining flits of the head packet while space lasts;
+			// track progress via a per-packet counter stored in class-free
+			// space: use idx of next flit = p.flitsMoved.
+			moved := false
+			for p.flitsMoved < p.flits && nc.injQ.len() < nc.injCap {
+				s.flitCountInjected(p)
+				nc.injQ.push(flit{pkt: p, idx: int32(p.flitsMoved), hop: 0})
+				p.flitsMoved++
+				moved = true
+			}
+			if p.flitsMoved == p.flits {
+				nc.srcQ = nc.srcQ[1:]
+				if len(nc.srcQ) == 0 {
+					nc.srcQ = nil
+				}
+				continue
+			}
+			if !moved {
+				break
+			}
+		}
+	}
+}
+
+func (s *Sim) flitCountInjected(p *packet) {
+	if s.now >= s.cfg.WarmupCycles && s.now < s.cfg.WarmupCycles+s.cfg.MeasureCycles {
+		s.flitsInjected++
+	}
+	s.inFlightFlits++
+}
+
+// eject consumes a flit at its destination.
+func (s *Sim) eject(f flit) {
+	p := f.pkt
+	s.inFlightFlits--
+	s.lastEject = s.now
+	if s.now >= s.cfg.WarmupCycles && s.now < s.cfg.WarmupCycles+s.cfg.MeasureCycles {
+		s.flitsEjected++
+	}
+	if f.tail() {
+		if p.tracked {
+			s.doneMeasured++
+			s.lat = append(s.lat, s.now-p.genTime)
+			s.totalHops += int64(len(p.path) - 1)
+			s.hopPackets++
+		}
+		s.cfg.Traffic.OnDelivered(s.now, p.src, p.dst, p.flits, p.class, func(src, dst, flits, class int) {
+			s.enqueuePacket(src, dst, flits, class, false)
+		})
+	}
+}

@@ -1,0 +1,182 @@
+// Package stats provides the small statistical utilities shared by the
+// experiment harness: means, geometric means, percentiles and fixed-width
+// histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values (0 if any value is
+// non-positive or the input is empty). The paper uses geometric means for
+// its cross-benchmark summaries (§5.4, §6).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) using nearest-rank on a
+// sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(p * float64(len(cp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// Histogram counts values into fixed-width bins starting at min.
+type Histogram struct {
+	Min, Width float64
+	Counts     []int
+	Total      int
+}
+
+// NewHistogram creates a histogram with the given origin and bin width.
+func NewHistogram(min, width float64, bins int) *Histogram {
+	return &Histogram{Min: min, Width: width, Counts: make([]int, bins)}
+}
+
+// Add inserts a value, extending the bin range as needed.
+func (h *Histogram) Add(x float64) {
+	bin := int((x - h.Min) / h.Width)
+	if bin < 0 {
+		bin = 0
+	}
+	for bin >= len(h.Counts) {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[bin]++
+	h.Total++
+}
+
+// Density returns per-bin probabilities.
+func (h *Histogram) Density() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.Total)
+	}
+	return out
+}
+
+// Table is a printable experiment result: a title, a header row, and data
+// rows — one per line the paper's table or figure series reports.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowF appends a row, formatting each value: strings pass through,
+// float64 as %.4g, ints as %d.
+func (t *Table) AddRowF(vals ...interface{}) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			cells[i] = x
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		case int:
+			cells[i] = fmt.Sprintf("%d", x)
+		case int64:
+			cells[i] = fmt.Sprintf("%d", x)
+		case bool:
+			cells[i] = fmt.Sprintf("%v", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widthAt(widths, i, len(c)), c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func widthAt(widths []int, i, fallback int) int {
+	if i < len(widths) {
+		return widths[i]
+	}
+	return fallback
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

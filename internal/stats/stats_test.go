@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean(1,100) = %v, want 10", got)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("non-positive input should return 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty input should return 0")
+	}
+}
+
+// TestGeoMeanQuick: geometric mean lies between min and max.
+func TestGeoMeanQuick(t *testing.T) {
+	prop := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 1); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 0.5); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	for _, x := range []float64{0.5, 1.5, 2.5, 9} {
+		h.Add(x)
+	}
+	if h.Total != 4 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if len(h.Counts) < 5 {
+		t.Error("histogram should extend for out-of-range values")
+	}
+	d := h.Density()
+	sum := 0.0
+	for _, p := range d {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("density sums to %v", sum)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "fig99", Title: "demo", Header: []string{"a", "bbbb"}}
+	tb.AddRow("x", "y")
+	tb.AddRowF("long-cell", 3.14159)
+	s := tb.String()
+	if !strings.Contains(s, "fig99") || !strings.Contains(s, "long-cell") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bbbb\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "3.142") {
+		t.Errorf("csv missing formatted float: %q", csv)
+	}
+}
+
+func TestAddRowFTypes(t *testing.T) {
+	tb := &Table{Header: []string{"v"}}
+	tb.AddRowF(42)
+	tb.AddRowF(int64(43))
+	tb.AddRowF(true)
+	tb.AddRowF(1.5)
+	if tb.Rows[0][0] != "42" || tb.Rows[1][0] != "43" || tb.Rows[2][0] != "true" || tb.Rows[3][0] != "1.5" {
+		t.Errorf("rows = %v", tb.Rows)
+	}
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBenchmarksWellFormed(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 14 {
+		t.Fatalf("got %d benchmarks, want 14 (Fig. 10b/18)", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Rate <= 0 || b.Rate > 0.2 {
+			t.Errorf("%s: implausible rate %v", b.Name, b.Rate)
+		}
+		if b.ReadFrac+b.WriteFrac >= 1 {
+			t.Errorf("%s: read+write fraction %.2f leaves no coherence traffic",
+				b.Name, b.ReadFrac+b.WriteFrac)
+		}
+		if b.Locality+b.Hotspot >= 1 {
+			t.Errorf("%s: locality+hotspot %.2f >= 1", b.Name, b.Locality+b.Hotspot)
+		}
+	}
+}
+
+func TestBenchmarkByName(t *testing.T) {
+	if b := BenchmarkByName("fft"); b == nil || b.Name != "fft" {
+		t.Error("fft lookup failed")
+	}
+	if BenchmarkByName("nope") != nil {
+		t.Error("unknown benchmark should return nil")
+	}
+}
+
+func TestSourceMultiprogrammed(t *testing.T) {
+	s := NewSource(*BenchmarkByName("fft"), 192)
+	if s.Copies != 3 || s.ThreadsPerCopy != 64 {
+		t.Fatalf("192 cores should run 3x64 threads, got %dx%d", s.Copies, s.ThreadsPerCopy)
+	}
+	small := NewSource(*BenchmarkByName("fft"), 54)
+	if small.Copies != 1 || small.ThreadsPerCopy != 54 {
+		t.Fatalf("54 cores should run 1x54, got %dx%d", small.Copies, small.ThreadsPerCopy)
+	}
+}
+
+// TestDestinationsStayInCopy: the multiprogrammed copies must not talk to
+// each other.
+func TestDestinationsStayInCopy(t *testing.T) {
+	s := NewSource(*BenchmarkByName("radix"), 192)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5000; trial++ {
+		src := rng.Intn(192)
+		d := s.dest(rng, src)
+		if d/64 != src/64 {
+			t.Fatalf("dest %d leaves copy of src %d", d, src)
+		}
+		if d == src {
+			t.Fatal("self destination")
+		}
+	}
+}
+
+// TestMessageMix: generated classes follow the configured fractions and the
+// paper's flit sizes.
+func TestMessageMix(t *testing.T) {
+	s := NewSource(*BenchmarkByName("canneal"), 192)
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int]int{}
+	flits := map[int]int{}
+	for cyc := int64(0); cyc < 3000; cyc++ {
+		s.Generate(cyc, rng, func(src, dst, f, class int) {
+			counts[class]++
+			flits[class] = f
+		})
+	}
+	total := counts[ClassRead] + counts[ClassWrite] + counts[ClassCoh]
+	if total == 0 {
+		t.Fatal("no messages generated")
+	}
+	readFrac := float64(counts[ClassRead]) / float64(total)
+	if readFrac < 0.58 || readFrac > 0.78 {
+		t.Errorf("read fraction %.2f, configured 0.68", readFrac)
+	}
+	if flits[ClassRead] != 2 || flits[ClassCoh] != 2 || flits[ClassWrite] != 6 {
+		t.Errorf("flit sizes read/coh/write = %d/%d/%d, want 2/2/6",
+			flits[ClassRead], flits[ClassCoh], flits[ClassWrite])
+	}
+}
+
+func TestRepliesOnReadsOnly(t *testing.T) {
+	s := NewSource(*BenchmarkByName("fft"), 192)
+	got := 0
+	emit := func(src, dst, flits, class int) {
+		got++
+		if class != ClassReply || flits != FlitsReply {
+			t.Errorf("reply class/flits = %d/%d", class, flits)
+		}
+	}
+	s.OnDelivered(0, 1, 2, FlitsRead, ClassRead, emit)
+	s.OnDelivered(0, 1, 2, FlitsWrite, ClassWrite, emit)
+	s.OnDelivered(0, 1, 2, FlitsCoh, ClassCoh, emit)
+	s.OnDelivered(0, 1, 2, FlitsReply, ClassReply, emit)
+	if got != 1 {
+		t.Errorf("got %d replies, want 1 (reads only)", got)
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	mk := func() []Event {
+		s := NewSource(*BenchmarkByName("dedup"), 192)
+		return Record(s, 500, 99)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := NewSource(*BenchmarkByName("vips"), 192)
+	events := Record(s, 300, 7)
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReplayEmitsInOrder(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, Src: 1, Dst: 2, Flits: 2, Class: ClassRead},
+		{Cycle: 0, Src: 3, Dst: 4, Flits: 6, Class: ClassWrite},
+		{Cycle: 5, Src: 5, Dst: 6, Flits: 2, Class: ClassCoh},
+	}
+	r := &Replay{Events: events}
+	rng := rand.New(rand.NewSource(1))
+	var got []Event
+	for tt := int64(0); tt < 10; tt++ {
+		r.Generate(tt, rng, func(src, dst, flits, class int) {
+			got = append(got, Event{Cycle: tt, Src: int32(src), Dst: int32(dst),
+				Flits: int16(flits), Class: int16(class)})
+		})
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d events, want 3", len(got))
+	}
+	if got[2].Cycle != 5 {
+		t.Errorf("third event at cycle %d, want 5", got[2].Cycle)
+	}
+}
+
+func TestReplayLoop(t *testing.T) {
+	events := []Event{{Cycle: 0, Src: 1, Dst: 2, Flits: 2, Class: ClassCoh}}
+	r := &Replay{Events: events, Loop: true}
+	rng := rand.New(rand.NewSource(1))
+	count := 0
+	for tt := int64(0); tt < 5; tt++ {
+		r.Generate(tt, rng, func(src, dst, flits, class int) { count++ })
+	}
+	if count < 2 {
+		t.Errorf("looped replay emitted %d events, want repeated injection", count)
+	}
+}

@@ -1,0 +1,231 @@
+// Package traffic implements the synthetic traffic patterns of §5.1: uniform
+// random (RND), bit shuffle (SHF), bit reversal (REV), the two adversarial
+// patterns (ADV1, ADV2), and the asymmetric pattern of the Fig. 20 adaptive
+// routing study, together with the open-loop Bernoulli injection process
+// that drives the simulator.
+package traffic
+
+import (
+	"math/rand"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Pattern maps a source node to a destination node.
+type Pattern interface {
+	Name() string
+	Dest(rng *rand.Rand, src int) int
+}
+
+// Uniform is RND: a uniformly random destination other than the source.
+type Uniform struct {
+	N int
+}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "RND" }
+
+// Dest implements Pattern.
+func (u Uniform) Dest(rng *rand.Rand, src int) int {
+	if u.N < 2 {
+		return src
+	}
+	for {
+		d := rng.Intn(u.N)
+		if d != src {
+			return d
+		}
+	}
+}
+
+// nodeBits returns the number of bits needed to index n nodes.
+func nodeBits(n int) int {
+	b := 0
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+// Shuffle is SHF: the destination ID is the source ID with its bits rotated
+// left by one position; out-of-range results wrap modulo N.
+type Shuffle struct {
+	N int
+}
+
+// Name implements Pattern.
+func (Shuffle) Name() string { return "SHF" }
+
+// Dest implements Pattern.
+func (s Shuffle) Dest(rng *rand.Rand, src int) int {
+	b := nodeBits(s.N)
+	if b == 0 {
+		return src
+	}
+	d := ((src << 1) | (src >> (b - 1))) & ((1 << b) - 1)
+	d %= s.N
+	if d == src {
+		d = (d + 1) % s.N
+	}
+	return d
+}
+
+// Reversal is REV: the destination ID is the bit-reversed source ID.
+type Reversal struct {
+	N int
+}
+
+// Name implements Pattern.
+func (Reversal) Name() string { return "REV" }
+
+// Dest implements Pattern.
+func (r Reversal) Dest(rng *rand.Rand, src int) int {
+	b := nodeBits(r.N)
+	d := 0
+	for i := 0; i < b; i++ {
+		if src&(1<<i) != 0 {
+			d |= 1 << (b - 1 - i)
+		}
+	}
+	d %= r.N
+	if d == src {
+		d = (d + 1) % r.N
+	}
+	return d
+}
+
+// Adversarial pairs every router with a maximally distant partner router;
+// all nodes of a router send to the same slot at the partner. Variant 1
+// (ADV1) uses the topologically farthest router, concentrating load on the
+// deterministic minimal paths between pairs; variant 2 (ADV2) sends across
+// the die to router (r + Nr/2) mod Nr, loading many multi-link paths that
+// share intermediate links.
+type Adversarial struct {
+	Variant int // 1 or 2
+	net     *topo.Network
+	partner []int
+}
+
+// NewAdversarial builds ADV1 (variant 1) or ADV2 (variant 2) for a placed
+// network.
+func NewAdversarial(net *topo.Network, variant int) *Adversarial {
+	a := &Adversarial{Variant: variant, net: net, partner: make([]int, net.Nr)}
+	switch variant {
+	case 1:
+		// Greedy maximum-distance matching: a permutation, so ejection
+		// bandwidth stays balanced while minimal paths are maximally long
+		// and deterministic tie-breaking concentrates them on few links.
+		p := routing.NewMinimal(net)
+		taken := make([]bool, net.Nr)
+		for r := 0; r < net.Nr; r++ {
+			best, bestD := -1, -1
+			for o := 0; o < net.Nr; o++ {
+				if o == r || taken[o] {
+					continue
+				}
+				if d := p.Dist(r, o); d > bestD {
+					best, bestD = o, d
+				}
+			}
+			if best < 0 {
+				best = r // odd leftover: self maps identity, filtered in Dest
+			}
+			taken[best] = true
+			a.partner[r] = best
+		}
+	default:
+		for r := 0; r < net.Nr; r++ {
+			a.partner[r] = (r + net.Nr/2) % net.Nr
+		}
+	}
+	return a
+}
+
+// Name implements Pattern.
+func (a *Adversarial) Name() string {
+	if a.Variant == 1 {
+		return "ADV1"
+	}
+	return "ADV2"
+}
+
+// Dest implements Pattern.
+func (a *Adversarial) Dest(rng *rand.Rand, src int) int {
+	p := a.net.P
+	r := a.net.NodeRouter(src)
+	slot := src - r*p
+	d := a.partner[r]*p + slot
+	if d == src {
+		d = (d + 1) % a.net.N()
+	}
+	return d
+}
+
+// Asymmetric is the Fig. 20 pattern: with equal probability, destination
+// (s mod N/2) + N/2 or (s mod N/2).
+type Asymmetric struct {
+	N int
+}
+
+// Name implements Pattern.
+func (Asymmetric) Name() string { return "ASYM" }
+
+// Dest implements Pattern.
+func (a Asymmetric) Dest(rng *rand.Rand, src int) int {
+	half := a.N / 2
+	d := src % half
+	if rng.Intn(2) == 1 {
+		d += half
+	}
+	if d == src {
+		d = (d + 1) % a.N
+	}
+	return d
+}
+
+// Synthetic is an open-loop Bernoulli source: every node independently
+// generates a packet with probability rate/packetFlits per cycle, so the
+// offered load is rate flits/node/cycle.
+type Synthetic struct {
+	N           int
+	Rate        float64 // flits/node/cycle
+	PacketFlits int
+	Pattern     Pattern
+}
+
+var _ sim.Source = (*Synthetic)(nil)
+
+// Generate implements sim.Source.
+func (s *Synthetic) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int)) {
+	prob := s.Rate / float64(s.PacketFlits)
+	for node := 0; node < s.N; node++ {
+		if rng.Float64() < prob {
+			emit(node, s.Pattern.Dest(rng, node), s.PacketFlits, 0)
+		}
+	}
+}
+
+// OnDelivered implements sim.Source (synthetic traffic has no replies).
+func (s *Synthetic) OnDelivered(t int64, src, dst, flits, class int, emit func(src, dst, flits, class int)) {
+}
+
+// PatternByName builds one of the paper's patterns for a placed network.
+func PatternByName(name string, net *topo.Network) Pattern {
+	switch name {
+	case "RND":
+		return Uniform{N: net.N()}
+	case "SHF":
+		return Shuffle{N: net.N()}
+	case "REV":
+		return Reversal{N: net.N()}
+	case "ADV1":
+		return NewAdversarial(net, 1)
+	case "ADV2":
+		return NewAdversarial(net, 2)
+	case "ASYM":
+		return Asymmetric{N: net.N()}
+	}
+	return nil
+}
