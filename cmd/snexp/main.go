@@ -1,6 +1,7 @@
 // Command snexp runs the paper-reproduction experiments and prints their
 // tables. With no arguments it lists the registry; -exp runs one experiment,
-// -all runs everything.
+// -all runs everything. Scale and seed come from the shared spec flags
+// (-full, -seed, or a -spec file's sim section).
 //
 // Usage:
 //
@@ -16,20 +17,34 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/stats"
+	"repro/slimnoc"
 )
 
 func main() {
+	sf := slimnoc.NewSpecFlags().BindCommon(flag.CommandLine)
 	var (
 		list = flag.Bool("list", false, "list experiments")
 		id   = flag.String("exp", "", "experiment ID to run")
 		all  = flag.Bool("all", false, "run every experiment")
-		full = flag.Bool("full", false, "full methodology (longer runs) instead of quick mode")
 		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		seed = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
-	opts := exp.Options{Quick: !*full, Seed: *seed}
+	spec, err := sf.Spec(slimnoc.DefaultSpec())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snexp:", err)
+		os.Exit(1)
+	}
+	// Quick controls sweep density; the spec's cycle counts pass through
+	// verbatim.
+	full := slimnoc.FullSim()
+	opts := exp.Options{
+		Quick:         spec.Sim.MeasureCycles < full.MeasureCycles,
+		Seed:          spec.Sim.Seed,
+		WarmupCycles:  spec.Sim.WarmupCycles,
+		MeasureCycles: spec.Sim.MeasureCycles,
+		DrainCycles:   spec.Sim.DrainCycles,
+	}
 	switch {
 	case *list || (*id == "" && !*all):
 		fmt.Println("Available experiments:")

@@ -1,7 +1,7 @@
 // Command sngen generates Slim NoC configurations: it prints Table 2
 // (feasible configurations), the finite-field operation tables (Table 3),
-// and, for a chosen q/p/layout, the full router adjacency with labels,
-// coordinates and generator sets.
+// and, for a chosen q/p/layout (shared spec flags), the full router
+// adjacency with labels, coordinates and generator sets.
 //
 // Usage:
 //
@@ -18,16 +18,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/gf"
+	"repro/slimnoc"
 )
 
 func main() {
+	sf := slimnoc.NewSpecFlags().
+		BindCommon(flag.CommandLine).
+		BindNetwork(flag.CommandLine)
 	var (
-		table2 = flag.Bool("table2", false, "print Table 2 (configurations with N <= maxn)")
-		maxN   = flag.Int("maxn", 1300, "node limit for -table2")
+		table2 = flag.Bool("table2", false, "print Table 2 (feasible configurations)")
 		field  = flag.Int("field", 0, "print operation tables for GF(q)")
-		q      = flag.Int("q", 0, "build a Slim NoC with this q")
-		p      = flag.Int("p", 0, "concentration (default ideal ceil(k'/2))")
-		layout = flag.String("layout", "subgr", "layout: basic, subgr, gr, rand")
 		adj    = flag.Bool("adj", false, "print the full adjacency list")
 	)
 	flag.Parse()
@@ -37,11 +37,23 @@ func main() {
 		for _, t := range exp.Table2(exp.Options{}) {
 			fmt.Println(t.String())
 		}
-		_ = maxN
 	case *field != 0:
 		printField(*field)
-	case *q != 0:
-		build(*q, *p, core.Layout(*layout), *adj)
+	case sf.Q != 0 || sf.Net != "" || sf.SpecPath != "":
+		defaults := slimnoc.DefaultSpec()
+		defaults.Network = slimnoc.NetworkSpec{Topology: "sn", Q: sf.Q, Layout: "subgr"}
+		spec, err := sf.Spec(defaults)
+		if err != nil {
+			fatal(err)
+		}
+		ns, err := slimnoc.ExpandNetwork(spec.Network)
+		if err != nil {
+			fatal(err)
+		}
+		if ns.Topology != "sn" {
+			fatal(fmt.Errorf("sngen builds Slim NoCs only, got topology %q", ns.Topology))
+		}
+		build(ns, *adj)
 	default:
 		flag.Usage()
 	}
@@ -89,7 +101,8 @@ func printTable(f *gf.Field, t [][]int) {
 	}
 }
 
-func build(q, p int, layout core.Layout, adj bool) {
+func build(ns slimnoc.NetworkSpec, adj bool) {
+	q, p := ns.Q, ns.Conc
 	if p == 0 {
 		kp, err := core.KPrimeFor(q)
 		if err != nil {
@@ -101,7 +114,7 @@ func build(q, p int, layout core.Layout, adj bool) {
 	if err != nil {
 		fatal(err)
 	}
-	net, err := s.Network(layout, 1)
+	net, _, err := slimnoc.BuildNetwork(ns)
 	if err != nil {
 		fatal(err)
 	}
@@ -110,7 +123,7 @@ func build(q, p int, layout core.Layout, adj bool) {
 		q, p, s.N(), s.Nr(), s.KPrime, net.RouterRadix(), net.Diameter())
 	fmt.Printf("generator sets: X=%v X'=%v\n", names(f, s.X), names(f, s.Xp))
 	fmt.Printf("layout %s: die %s, avg wire length M=%.2f hops, max wire crossings W=%d\n",
-		layout, dieStr(net), net.AvgWireLength(), core.MaxWireCrossing(net))
+		ns.Layout, dieStr(net), net.AvgWireLength(), core.MaxWireCrossing(net))
 	if adj {
 		for i := 0; i < s.Nr(); i++ {
 			l := s.LabelOf(i)

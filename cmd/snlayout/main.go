@@ -1,6 +1,7 @@
 // Command snlayout analyses Slim NoC physical layouts: average wire length,
 // buffer budgets, wiring constraints and distance distributions (the §3.3
-// analyses behind Figs. 5 and 6).
+// analyses behind Figs. 5 and 6). The network comes from the shared spec
+// flags (-q/-p or a -spec file); every registered layout is compared.
 //
 // Usage:
 //
@@ -14,52 +15,61 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/slimnoc"
 )
 
 func main() {
-	var (
-		q     = flag.Int("q", 5, "Slim NoC parameter q")
-		p     = flag.Int("p", 0, "concentration (default ideal)")
-		dist  = flag.Bool("dist", false, "print distance distributions (Fig. 6)")
-		smart = flag.Bool("smart", false, "size buffers with SMART links (H=9)")
-	)
+	sf := slimnoc.NewSpecFlags().
+		BindCommon(flag.CommandLine).
+		BindNetwork(flag.CommandLine)
+	dist := flag.Bool("dist", false, "print distance distributions (Fig. 6)")
 	flag.Parse()
 
-	if *p == 0 {
-		kp, err := core.KPrimeFor(*q)
-		if err != nil {
-			fatal(err)
-		}
-		*p = (kp + 1) / 2
-	}
-	s, err := core.New(core.Params{Q: *q, P: *p})
+	defaults := slimnoc.DefaultSpec()
+	defaults.Network = slimnoc.NetworkSpec{Topology: "sn", Q: 5}
+	spec, err := sf.Spec(defaults)
 	if err != nil {
 		fatal(err)
 	}
-	m := core.DefaultBufferModel()
-	if *smart {
-		m = m.WithSMART()
+	spec.Network, err = slimnoc.ExpandNetwork(spec.Network)
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Printf("Slim NoC q=%d p=%d: N=%d Nr=%d k'=%d (buffers sized with H=%d)\n\n",
-		*q, *p, s.N(), s.Nr(), s.KPrime, m.H)
-	fmt.Printf("%-10s %8s %10s %12s %12s %10s\n",
-		"layout", "die", "avg M", "Δeb [flits]", "Δcb20", "max W")
-	for _, l := range core.Layouts() {
-		net, err := s.Network(l, 1)
+	if spec.Network.Topology != "sn" {
+		fatal(fmt.Errorf("snlayout analyses Slim NoC layouts only, got topology %q", spec.Network.Topology))
+	}
+	build := func(layout string) *slimnoc.Network {
+		ns := spec.Network
+		ns.Topology = "sn"
+		ns.Layout = layout
+		net, _, err := slimnoc.BuildNetwork(ns)
 		if err != nil {
 			fatal(err)
 		}
+		return net
+	}
+
+	m := core.DefaultBufferModel()
+	if spec.SMART {
+		m = m.WithSMART()
+	}
+	ref := build("subgr")
+	fmt.Printf("Slim NoC q=%d: N=%d Nr=%d k'=%d (buffers sized with H=%d)\n\n",
+		spec.Network.Q, ref.N(), ref.Nr, ref.NetworkRadix(), m.H)
+	fmt.Printf("%-10s %8s %10s %12s %12s %10s\n",
+		"layout", "die", "avg M", "Δeb [flits]", "Δcb20", "max W")
+	for _, l := range slimnoc.Layouts() {
+		net := build(l)
 		x, y := net.GridDims()
 		cost := core.CostOf(net, m, 20)
 		fmt.Printf("%-10s %8s %10.2f %12d %12d %10d\n",
-			"sn_"+string(l), fmt.Sprintf("%dx%d", x, y), cost.M, cost.TotalEB,
+			"sn_"+l, fmt.Sprintf("%dx%d", x, y), cost.M, cost.TotalEB,
 			cost.TotalCB, cost.MaxWires)
 	}
 
 	fmt.Println("\nwiring constraints (Eq. 3):")
 	for _, wc := range core.WiringConstraints() {
-		net, _ := s.Network(core.LayoutSubgroup, 1)
-		ok, got := core.SatisfiesConstraint(net, wc)
+		ok, got := core.SatisfiesConstraint(ref, wc)
 		status := "OK"
 		if !ok {
 			status = "VIOLATED"
@@ -69,8 +79,8 @@ func main() {
 
 	if *dist {
 		fmt.Println("\ndistance distributions (probability per 2-wide bin):")
-		for _, l := range []core.Layout{core.LayoutGroup, core.LayoutSubgroup} {
-			net, _ := s.Network(l, 1)
+		for _, l := range []string{"gr", "subgr"} {
+			net := build(l)
 			fmt.Printf("  sn_%s: ", l)
 			for i, pr := range core.DistanceDistribution(net) {
 				fmt.Printf("%d-%d:%.3f ", 2*i+1, 2*i+2, pr)

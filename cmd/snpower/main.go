@@ -1,6 +1,7 @@
 // Command snpower estimates area, static power and dynamic power for any of
 // the evaluated networks (the DSENT-substitute analyses behind
-// Figs. 15-17).
+// Figs. 15-17). The network and simulated load come from the shared spec
+// flags (-net, -rate, -smart, or a -spec file).
 //
 // Usage:
 //
@@ -9,22 +10,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/exp"
 	"repro/internal/power"
+	"repro/slimnoc"
 )
 
 func main() {
+	sf := slimnoc.NewSpecFlags().
+		BindCommon(flag.CommandLine).
+		BindNetwork(flag.CommandLine).
+		BindRun(flag.CommandLine)
 	var (
-		netName = flag.String("net", "sn_subgr_200", "network name")
-		tech    = flag.String("tech", "45nm", "technology: 45nm or 22nm")
-		smart   = flag.Bool("smart", false, "SMART links (affects buffer sizing and activity)")
-		rate    = flag.Float64("rate", 0.24, "RND load for the dynamic-power estimate")
-		cbr     = flag.Int("cbr", 0, "use central buffers of this size instead of edge buffers")
+		tech = flag.String("tech", "45nm", "technology: 45nm or 22nm")
+		cbr  = flag.Int("cbr", 0, "use central buffers of this size instead of edge buffers")
 	)
 	flag.Parse()
 
@@ -37,13 +40,19 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown tech %q", *tech))
 	}
-	spec, err := exp.BuildNet(*netName)
+	defaults := slimnoc.DefaultSpec()
+	defaults.Traffic.Rate = 0.24
+	spec, err := sf.Spec(defaults)
 	if err != nil {
 		fatal(err)
 	}
-	n := spec.Net
+	runner := slimnoc.NewRunner(spec)
+	n, _, err := runner.Network()
+	if err != nil {
+		fatal(err)
+	}
 	m := core.DefaultBufferModel()
-	if *smart {
+	if spec.SMART {
 		m = m.WithSMART()
 	}
 	var buf power.BufferConfig
@@ -56,23 +65,20 @@ func main() {
 	a := power.Area(n, buf, 2, t)
 	s := power.Static(n, buf, 2, t)
 	fmt.Printf("network %s at %s: Nr=%d N=%d k'=%d, buffers %.0f flits total\n\n",
-		*netName, t.Name, n.Nr, n.N(), n.NetworkRadix(), buf.TotalFlits)
+		n.Name, t.Name, n.Nr, n.N(), n.NetworkRadix(), buf.TotalFlits)
 	fmt.Printf("area [cm^2]   active routers %.4f | intermediate routers %.4f | RR wires %.4f | RN wires %.4f | total %.4f\n",
 		a.ARouters, a.IRouters, a.RRWires, a.RNWires, a.Total())
 	fmt.Printf("static [W]    routers %.3f | wires %.3f | total %.3f\n",
 		s.Routers, s.Wires, s.Total())
 
-	res, err := exp.Run(exp.RunSpec{
-		Spec: spec, Pattern: "RND", Rate: *rate, SMART: *smart,
-		Opts: exp.Options{Quick: true, Seed: 1},
-	})
+	res, err := runner.Run(context.Background())
 	if err != nil {
 		fatal(err)
 	}
-	act := power.ActivityOf(n, res.Throughput, res.AvgHops, t, 128)
+	act := power.ActivityOf(n, res.Metrics.Throughput, res.Metrics.AvgHops, t, 128)
 	d := power.Dynamic(act, t)
-	fmt.Printf("dynamic [W]   buffers %.3f | crossbars %.3f | wires %.3f | total %.3f (RND load %.3f, accepted %.3f)\n",
-		d.Buffers, d.Crossbars, d.Wires, d.Total(), *rate, res.Throughput)
+	fmt.Printf("dynamic [W]   buffers %.3f | crossbars %.3f | wires %.3f | total %.3f (%s load %.3f, accepted %.3f)\n",
+		d.Buffers, d.Crossbars, d.Wires, d.Total(), spec.Traffic.Pattern, spec.Traffic.Rate, res.Metrics.Throughput)
 	fmt.Printf("thr/power     %.1f flits/J\n",
 		power.ThroughputPerPower(act.FlitsPerCycle, n.CycleTimeNs, s, d))
 }

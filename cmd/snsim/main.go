@@ -1,95 +1,59 @@
 // Command snsim runs a single network simulation point and prints its
-// result: latency, throughput, hop count and saturation state.
+// result: latency, throughput, hop count and saturation state. Runs are
+// described by slimnoc run specs: load one with -spec and/or override
+// individual fields with flags, and persist the resolved spec with
+// -save-spec for reproducible re-runs.
 //
 // Usage:
 //
-//	snsim -net sn_subgr_200 -pattern RND -rate 0.06 [-smart] [-scheme cbr]
-//	snsim -net fbf3 -pattern ADV1 -rate 0.24 -cycles 20000
+//	snsim -net sn_subgr_200 -pattern rnd -rate 0.06 [-smart] [-scheme cbr]
+//	snsim -net fbf3 -pattern adv1 -rate 0.24 -cycles 20000
+//	snsim -spec run.json
+//	snsim -net t2d9 -rate 0.12 -save-spec run.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/exp"
-	"repro/internal/sim"
+	"repro/slimnoc"
 )
 
 func main() {
-	var (
-		netName = flag.String("net", "sn_subgr_200", "network name (see Table 4 names or sn_<layout>_<N>)")
-		pattern = flag.String("pattern", "RND", "traffic: RND, SHF, REV, ADV1, ADV2, ASYM")
-		rate    = flag.Float64("rate", 0.06, "offered load in flits/node/cycle")
-		smart   = flag.Bool("smart", false, "enable SMART links (H=9)")
-		scheme  = flag.String("scheme", "eb", "buffering: eb, ebvar, eblarge, el, cbr")
-		cbCap   = flag.Int("cb", 20, "central buffer capacity (cbr scheme)")
-		vcs     = flag.Int("vcs", 2, "virtual channels")
-		cycles  = flag.Int64("cycles", 0, "measurement cycles (0 = default)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		policy  = flag.String("adaptive", "", "adaptive routing: '', ugal-l, ugal-g, min-adapt")
-	)
+	sf := slimnoc.NewSpecFlags().
+		BindCommon(flag.CommandLine).
+		BindNetwork(flag.CommandLine).
+		BindRun(flag.CommandLine)
+	progress := flag.Bool("progress", false, "print periodic progress during the run")
 	flag.Parse()
 
-	spec, err := exp.BuildNet(*netName)
+	spec, err := sf.Spec(slimnoc.DefaultSpec())
 	if err != nil {
 		fatal(err)
 	}
-	rs := exp.RunSpec{
-		Spec:    spec,
-		VCs:     *vcs,
-		Pattern: *pattern,
-		Rate:    *rate,
-		SMART:   *smart,
-		CBCap:   *cbCap,
-		Opts:    exp.Options{Quick: *cycles == 0, Seed: *seed},
+	var opts []slimnoc.Option
+	if *progress {
+		opts = append(opts, slimnoc.WithProgress(0, func(p slimnoc.Progress) {
+			fmt.Fprintf(os.Stderr, "cycle %d/%d: %d/%d packets delivered, %d flits in flight\n",
+				p.Cycle, p.TotalCycles, p.Delivered, p.Generated, p.InFlight)
+		}))
 	}
-	switch *scheme {
-	case "eb":
-		rs.Scheme = sim.EdgeBuffers
-	case "ebvar":
-		rs.Scheme = sim.EdgeBuffers
-		h := 1
-		if *smart {
-			h = 9
-		}
-		rs.BufCap = sim.EdgeBufVar(h, *vcs)
-	case "eblarge":
-		rs.Scheme = sim.EdgeBuffers
-		rs.BufCap = func(int) int { return 15 }
-	case "el":
-		rs.Scheme = sim.ElasticLinks
-	case "cbr":
-		rs.Scheme = sim.CentralBuffer
-	default:
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
-	}
-	switch *policy {
-	case "":
-	case "ugal-l":
-		rs.Policy = &sim.UGAL{Global: false, VCs: *vcs}
-	case "ugal-g":
-		rs.Policy = &sim.UGAL{Global: true, VCs: *vcs}
-	case "min-adapt":
-		rs.Policy = &sim.MinAdaptive{VCs: *vcs}
-	default:
-		fatal(fmt.Errorf("unknown adaptive policy %q", *policy))
-	}
-
-	res, err := exp.Run(rs)
+	res, err := slimnoc.Run(context.Background(), spec, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	n := spec.Net
+	n, m := res.Network, res.Metrics
 	fmt.Printf("network     %s (Nr=%d, N=%d, k'=%d, D=%d, cycle %.1fns)\n",
-		*netName, n.Nr, n.N(), n.NetworkRadix(), n.Diameter(), n.CycleTimeNs)
-	fmt.Printf("traffic     %s at %.3f flits/node/cycle\n", *pattern, *rate)
+		n.Name, n.Routers, n.Nodes, n.NetworkRadix, n.Diameter, n.CycleTimeNs)
+	fmt.Printf("traffic     %s at %.3f flits/node/cycle\n", spec.Traffic.Pattern, spec.Traffic.Rate)
 	fmt.Printf("latency     %.2f cycles (%.1f ns), p99 %.0f cycles\n",
-		res.AvgLatency, res.AvgLatency*n.CycleTimeNs, res.P99Latency)
-	fmt.Printf("throughput  %.4f flits/node/cycle (offered %.4f)\n", res.Throughput, res.OfferedLoad)
-	fmt.Printf("hops        %.2f avg\n", res.AvgHops)
-	fmt.Printf("packets     %d delivered of %d tracked\n", res.Delivered, res.Generated)
-	if res.Saturated {
+		m.AvgLatencyCycles, m.AvgLatencyNs, m.P99LatencyCycles)
+	fmt.Printf("throughput  %.4f flits/node/cycle (offered %.4f)\n", m.Throughput, m.OfferedLoad)
+	fmt.Printf("hops        %.2f avg\n", m.AvgHops)
+	fmt.Printf("packets     %d delivered of %d tracked\n", m.Delivered, m.Generated)
+	if m.Saturated {
 		fmt.Println("state       SATURATED")
 	}
 }

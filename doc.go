@@ -1,12 +1,18 @@
 // Package repro reproduces "Slim NoC: A Low-Diameter On-Chip Network
 // Topology for High Energy Efficiency and Scalability" (ASPLOS 2018).
 //
+// The public API is the slimnoc package: declarative, JSON-round-trippable
+// run specs, string-keyed registries for topologies / layouts / routing
+// algorithms / traffic patterns / buffering schemes, and a context-aware
+// Runner with streaming progress. Start there (and with README.md, which
+// maps every registry name to its paper section).
+//
 // The implementation lives under internal/: the Slim NoC construction and
 // layout models in internal/core, the finite fields in internal/gf, the
 // baseline topologies in internal/topo, the cycle-accurate simulator in
 // internal/sim, the DSENT-substitute power models in internal/power, and
 // the per-figure experiment harness in internal/exp. The root package holds
 // the benchmark harness (bench_test.go) that regenerates every table and
-// figure of the paper's evaluation; see DESIGN.md for the experiment index
-// and EXPERIMENTS.md for recorded results.
+// figure of the paper's evaluation; run `go run ./cmd/snexp -list` for the
+// experiment index.
 package repro

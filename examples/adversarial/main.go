@@ -2,18 +2,19 @@
 // the ADV1 pattern and compares Slim NoC against a concentrated mesh, a
 // torus and a flattened butterfly, all with SMART links — showing SN's
 // latency advantage at every load point and its later saturation than the
-// low-radix designs.
+// low-radix designs. Each network is a slimnoc preset, built once and
+// reused across the sweep via WithNetwork.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/exp"
+	"repro/slimnoc"
 )
 
 func main() {
-	opts := exp.Options{Quick: true, Seed: 1}
 	names := []string{"cm9", "t2d9", "fbf9", "sn_gr_1296"}
 	fmt.Println("ADV1 latency [cycles] at N=1296, SMART links (cf. Fig. 1a):")
 	fmt.Printf("%-8s", "load")
@@ -21,21 +22,36 @@ func main() {
 		fmt.Printf("  %-12s", n)
 	}
 	fmt.Println()
+
+	type built struct {
+		net  *slimnoc.Network
+		opts []slimnoc.Option
+	}
+	nets := make(map[string]built)
+	for _, name := range names {
+		net, kind, err := slimnoc.BuildNetwork(slimnoc.NetworkSpec{Preset: name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nets[name] = built{net: net, opts: []slimnoc.Option{slimnoc.WithNetwork(net, kind)}}
+	}
+
 	for _, load := range []float64{0.008, 0.024, 0.08} {
 		fmt.Printf("%-8.3f", load)
 		for _, name := range names {
-			spec, err := exp.BuildNet(name)
+			spec := slimnoc.RunSpec{
+				Network: slimnoc.NetworkSpec{Preset: name},
+				Traffic: slimnoc.TrafficSpec{Pattern: "adv1", Rate: load},
+				SMART:   true,
+				Sim:     slimnoc.QuickSim(),
+			}
+			spec.Sim.Seed = 2
+			res, err := slimnoc.Run(context.Background(), spec, nets[name].opts...)
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := exp.Run(exp.RunSpec{
-				Spec: spec, Pattern: "ADV1", Rate: load, SMART: true, Opts: opts,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			cell := fmt.Sprintf("%.1f", res.AvgLatency)
-			if res.Saturated {
+			cell := fmt.Sprintf("%.1f", res.Metrics.AvgLatencyCycles)
+			if res.Metrics.Saturated {
 				cell = "saturated"
 			}
 			fmt.Printf("  %-12s", cell)

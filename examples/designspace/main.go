@@ -1,15 +1,18 @@
 // Design-space exploration: walks Table 2 to pick a Slim NoC for a target
-// core count, compares all four layouts with the §3.2 cost models, verifies
-// the Eq. 3 wiring constraints, and prints the chip-design summary — the
-// §3.4 workflow a chip architect would follow.
+// core count, compares all registered layouts with the §3.2 cost models,
+// verifies the Eq. 3 wiring constraints, budgets the chip at 22 nm, and
+// validates the chosen design with a short simulation through the slimnoc
+// facade — the §3.4 workflow a chip architect would follow.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
 	"repro/internal/power"
+	"repro/slimnoc"
 )
 
 func main() {
@@ -31,26 +34,28 @@ func main() {
 	fmt.Printf("target %d cores -> q=%d (k'=%d, p=%d, %d routers, power-of-two N: %v)\n",
 		targetCores, pick.Q, pick.KPrime, pick.P, pick.Nr, pick.PowerOfTwoN)
 
-	sn, err := core.New(core.Params{Q: pick.Q, P: pick.P})
-	if err != nil {
-		log.Fatal(err)
+	build := func(layout string) *slimnoc.Network {
+		net, _, err := slimnoc.BuildNetwork(slimnoc.NetworkSpec{
+			Topology: "sn", Q: pick.Q, Conc: pick.P, Layout: layout,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return net
 	}
 
 	// 2. Compare layouts with the cost model (§3.2.3).
 	model := core.DefaultBufferModel()
 	fmt.Println("\nlayout comparison (no SMART):")
 	fmt.Printf("  %-10s %8s %8s %12s %8s\n", "layout", "die", "M", "Δeb [flits]", "max W")
-	best := core.LayoutBasic
+	best := ""
 	bestM := -1.0
-	for _, l := range core.Layouts() {
-		net, err := sn.Network(l, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, l := range slimnoc.Layouts() {
+		net := build(l)
 		x, y := net.GridDims()
 		m := net.AvgWireLength()
 		fmt.Printf("  %-10s %8s %8.2f %12d %8d\n",
-			"sn_"+string(l), fmt.Sprintf("%dx%d", x, y), m,
+			"sn_"+l, fmt.Sprintf("%dx%d", x, y), m,
 			model.TotalEdgeBuffers(net), core.MaxWireCrossing(net))
 		if bestM < 0 || m < bestM {
 			best, bestM = l, m
@@ -59,10 +64,7 @@ func main() {
 	fmt.Printf("  -> choosing sn_%s (lowest average wire length)\n", best)
 
 	// 3. Verify manufacturability (Eq. 3) at every technology node.
-	net, err := sn.Network(best, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
+	net := build(best)
 	fmt.Println("\nwiring constraints:")
 	for _, wc := range core.WiringConstraints() {
 		ok, got := core.SatisfiesConstraint(net, wc)
@@ -84,4 +86,20 @@ func main() {
 		fmt.Printf("  %-24s area %.3f cm^2, leakage %.2f W (%.0f flits of storage)\n",
 			c.name, a.Total(), s.Total(), c.buf.TotalFlits)
 	}
+
+	// 5. Validate the pick end-to-end: a short uniform-random run through
+	//    the facade on the exact chosen network.
+	spec := slimnoc.RunSpec{
+		Name:    fmt.Sprintf("designspace-sn-%d", targetCores),
+		Network: slimnoc.NetworkSpec{Topology: "sn", Q: pick.Q, Conc: pick.P, Layout: best},
+		Traffic: slimnoc.TrafficSpec{Pattern: "rnd", Rate: 0.06},
+		Sim:     slimnoc.QuickSim(),
+	}
+	spec.Sim.Seed = 1
+	res, err := slimnoc.Run(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalidation run (RND at 0.06): latency %.1f cycles, throughput %.3f, saturated=%v\n",
+		res.Metrics.AvgLatencyCycles, res.Metrics.Throughput, res.Metrics.Saturated)
 }

@@ -1,22 +1,23 @@
 // Trace-driven workloads: replays the synthetic PARSEC/SPLASH traces (the
 // paper's §5.1 "Real Traffic" substitute) on SN-S under different layouts —
 // the Fig. 10b experiment — and demonstrates trace record/replay round
-// trips.
+// trips. Benchmarks are selected declaratively (traffic pattern "trace");
+// the recorded-event replay plugs in through the WithSource escape hatch.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/exp"
 	"repro/internal/trace"
+	"repro/slimnoc"
 )
 
 func main() {
 	layouts := []string{"sn_basic_200", "sn_gr_200", "sn_subgr_200"}
 	benches := []string{"barnes", "fft", "radix", "water-s"}
-	opts := exp.Options{Quick: true, Seed: 1}
 
 	fmt.Println("PARSEC/SPLASH latency [cycles] per SN layout (cf. Fig. 10b):")
 	fmt.Printf("%-10s", "bench")
@@ -25,28 +26,25 @@ func main() {
 	}
 	fmt.Println()
 	for _, bname := range benches {
-		b := trace.BenchmarkByName(bname)
-		if b == nil {
-			log.Fatalf("unknown benchmark %s", bname)
-		}
 		fmt.Printf("%-10s", bname)
 		for _, lname := range layouts {
-			spec, err := exp.BuildNet(lname)
+			spec := slimnoc.RunSpec{
+				Network: slimnoc.NetworkSpec{Preset: lname},
+				Traffic: slimnoc.TrafficSpec{Pattern: "trace", Trace: bname},
+				Sim:     slimnoc.QuickSim(),
+			}
+			spec.Sim.Seed = 2
+			res, err := slimnoc.Run(context.Background(), spec)
 			if err != nil {
 				log.Fatal(err)
 			}
-			src := trace.NewSource(*b, spec.Net.N())
-			res, err := exp.Run(exp.RunSpec{Spec: spec, Source: src, Opts: opts})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("  %-14.1f", res.AvgLatency)
+			fmt.Printf("  %-14.1f", res.Metrics.AvgLatencyCycles)
 		}
 		fmt.Println()
 	}
 
 	// Record/replay round trip: store a trace, reload it, and drive the
-	// simulator from the recorded events.
+	// simulator from the recorded events via WithSource.
 	b := trace.BenchmarkByName("fft")
 	src := trace.NewSource(*b, 192)
 	events := trace.Record(src, 5000, 42)
@@ -61,18 +59,16 @@ func main() {
 	}
 	fmt.Printf("\nrecorded %d fft events (%d bytes); replaying on sn_subgr_200...\n",
 		len(loaded), stored)
-	spec, err := exp.BuildNet("sn_subgr_200")
-	if err != nil {
-		log.Fatal(err)
+	spec := slimnoc.RunSpec{
+		Network: slimnoc.NetworkSpec{Preset: "sn_subgr_200"},
+		Sim:     slimnoc.QuickSim(),
 	}
-	res, err := exp.Run(exp.RunSpec{
-		Spec:   spec,
-		Source: &trace.Replay{Events: loaded, Loop: true},
-		Opts:   opts,
-	})
+	spec.Sim.Seed = 2
+	res, err := slimnoc.Run(context.Background(), spec,
+		slimnoc.WithSource(&trace.Replay{Events: loaded, Loop: true}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("replay: latency %.1f cycles, throughput %.4f flits/node/cycle\n",
-		res.AvgLatency, res.Throughput)
+		res.Metrics.AvgLatencyCycles, res.Metrics.Throughput)
 }

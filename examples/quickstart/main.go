@@ -1,63 +1,59 @@
-// Quickstart: build the paper's SN-S design (200 nodes, 50 routers,
-// diameter 2), inspect its structure, and run a short uniform-random
-// simulation — the smallest end-to-end use of the library.
+// Quickstart: describe the paper's SN-S design (200 nodes, 50 routers,
+// diameter 2) as a declarative slimnoc run spec, execute it with progress
+// streaming, and show that the spec round-trips through JSON — the smallest
+// end-to-end use of the public facade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/routing"
-	"repro/internal/sim"
-	"repro/internal/traffic"
+	"repro/slimnoc"
 )
 
 func main() {
-	// 1. Build the Slim NoC graph: q=5 gives 2q^2 = 50 routers; with
-	//    concentration p=4 that is 200 cores (§3.4, SN-S).
-	sn, err := core.New(core.Params{Q: 5, P: 4})
+	// 1. Declare the run: q=5 gives 2q^2 = 50 routers; with concentration
+	//    p=4 that is 200 cores (§3.4, SN-S), placed with the subgroup
+	//    layout (the best layout for SN-S), under uniform random traffic.
+	spec := slimnoc.RunSpec{
+		Name:    "quickstart-sn-s",
+		Network: slimnoc.NetworkSpec{Topology: "sn", Q: 5, Conc: 4, Layout: "subgr"},
+		Traffic: slimnoc.TrafficSpec{Pattern: "rnd", Rate: 0.1},
+		Sim:     slimnoc.SimSpec{WarmupCycles: 2000, MeasureCycles: 10000, DrainCycles: 10000, Seed: 1},
+	}
+
+	// 2. Run it. The context cancels long sweeps; the progress option
+	//    streams telemetry while the simulator works.
+	res, err := slimnoc.Run(context.Background(), spec,
+		slimnoc.WithProgress(8000, func(p slimnoc.Progress) {
+			fmt.Printf("  ... cycle %d/%d, %d packets delivered\n", p.Cycle, p.TotalCycles, p.Delivered)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("SN-S: %d routers, %d nodes, network radix k'=%d, u=%d\n",
-		sn.Nr(), sn.N(), sn.KPrime, sn.U)
-	fmt.Printf("generator sets over GF(%d): X=%v X'=%v\n",
-		sn.Q, sn.X, sn.Xp)
 
-	// 2. Place it with the subgroup layout (the best layout for SN-S).
-	net, err := sn.Network(core.LayoutSubgroup, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("layout: die %s, diameter %d, avg wire length %.2f hops\n",
-		dims(net.GridDims()), net.Diameter(), net.AvgWireLength())
-
-	// 3. Check the buffer budget (§3.2.2).
-	model := core.DefaultBufferModel()
-	fmt.Printf("edge buffers: %d flits total; central buffers (CB=20): %d flits\n",
-		model.TotalEdgeBuffers(net), model.TotalCentralBuffers(net, 20))
-
-	// 4. Simulate uniform random traffic at a moderate load.
-	cfg := sim.Config{
-		Net:     net,
-		Routing: &routing.MinimalRouting{P: routing.NewMinimal(net), VCs: 2},
-		Traffic: &traffic.Synthetic{
-			N: net.N(), Rate: 0.1, PacketFlits: 6,
-			Pattern: traffic.Uniform{N: net.N()},
-		},
-		Seed:          1,
-		WarmupCycles:  2000,
-		MeasureCycles: 10000,
-		DrainCycles:   10000,
-	}
-	s, err := sim.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res := s.Run()
+	// 3. Inspect the structural summary and the measured metrics.
+	n, m := res.Network, res.Metrics
+	fmt.Printf("SN-S: %d routers, %d nodes, network radix k'=%d, diameter %d, avg wire length %.2f hops\n",
+		n.Routers, n.Nodes, n.NetworkRadix, n.Diameter, n.AvgWireLength)
 	fmt.Printf("simulated RND at 0.10 flits/node/cycle: latency %.1f cycles, throughput %.3f, avg hops %.2f\n",
-		res.AvgLatency, res.Throughput, res.AvgHops)
-}
+		m.AvgLatencyCycles, m.Throughput, m.AvgHops)
 
-func dims(x, y int) string { return fmt.Sprintf("%dx%d", x, y) }
+	// 4. Specs are declarative documents: serialize, re-load, re-run — the
+	//    same seed reproduces the same metrics exactly.
+	data, err := res.Spec.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := slimnoc.ParseSpec(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := slimnoc.Run(context.Background(), reloaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JSON round trip (%d bytes): latency %.1f cycles, reproducible=%v\n",
+		len(data), res2.Metrics.AvgLatencyCycles, res2.Metrics == res.Metrics)
+}

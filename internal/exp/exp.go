@@ -5,30 +5,57 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 
-	"repro/internal/core"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topo"
-	"repro/internal/traffic"
+	"repro/slimnoc"
 )
 
 // Options tunes experiment scale. Quick mode shrinks cycle counts and sweep
 // density so the full suite runs in benchmark time; Full matches the paper's
-// methodology more closely.
+// methodology more closely. Explicit cycle counts, when positive, override
+// the mode's defaults.
 type Options struct {
 	Quick bool
 	Seed  int64
+
+	WarmupCycles  int64
+	MeasureCycles int64
+	DrainCycles   int64
 }
 
 // Cycles returns (warmup, measure, drain) for the current mode.
 func (o Options) Cycles() (int64, int64, int64) {
+	mode := slimnoc.FullSim()
 	if o.Quick {
-		return 1000, 3000, 4000
+		mode = slimnoc.QuickSim()
 	}
-	return 5000, 20000, 30000
+	if o.WarmupCycles > 0 {
+		mode.WarmupCycles = o.WarmupCycles
+	}
+	if o.MeasureCycles > 0 {
+		mode.MeasureCycles = o.MeasureCycles
+	}
+	if o.DrainCycles > 0 {
+		mode.DrainCycles = o.DrainCycles
+	}
+	return mode.WarmupCycles, mode.MeasureCycles, mode.DrainCycles
+}
+
+// SimSpec returns the facade simulation parameters for the mode.
+func (o Options) SimSpec() slimnoc.SimSpec {
+	warm, meas, drain := o.Cycles()
+	return slimnoc.SimSpec{
+		WarmupCycles:  warm,
+		MeasureCycles: meas,
+		DrainCycles:   drain,
+		Seed:          o.Seed + 1,
+	}
 }
 
 // Loads returns the offered-load sweep in flits/node/cycle.
@@ -46,85 +73,16 @@ type NetSpec struct {
 	Kind routing.Kind
 }
 
-// BuildNet constructs a named network. Names follow Table 4 (cm3, t2d9,
-// fbf8, pfbf4, ...) plus sn_<layout>_<N> for Slim NoCs and the N=54
-// small-scale set of §5.6.
+// BuildNet constructs a named network via the slimnoc preset registry.
+// Names follow Table 4 (cm3, t2d9, fbf8, pfbf4, ...) plus sn_<layout>_<N>
+// for Slim NoCs and the N=54 small-scale set of §5.6.
 func BuildNet(name string) (NetSpec, error) {
-	mk := func(n *topo.Network, k routing.Kind) (NetSpec, error) {
-		n.Name = name
-		return NetSpec{Name: name, Net: n, Kind: k}, nil
-	}
-	switch name {
-	// N in {192, 200}.
-	case "cm3":
-		return mk(topo.Mesh2D(8, 8, 3), routing.Kind{Class: routing.ClassMesh, RX: 8, RY: 8})
-	case "cm4":
-		return mk(topo.Mesh2D(10, 5, 4), routing.Kind{Class: routing.ClassMesh, RX: 10, RY: 5})
-	case "t2d3":
-		return mk(topo.Torus2D(8, 8, 3), routing.Kind{Class: routing.ClassTorus, RX: 8, RY: 8})
-	case "t2d4":
-		return mk(topo.Torus2D(10, 5, 4), routing.Kind{Class: routing.ClassTorus, RX: 10, RY: 5})
-	case "fbf3":
-		return mk(topo.FBF(8, 8, 3), routing.Kind{Class: routing.ClassFBF, RX: 8, RY: 8})
-	case "fbf4":
-		return mk(topo.FBF(10, 5, 4), routing.Kind{Class: routing.ClassFBF, RX: 10, RY: 5})
-	case "pfbf3":
-		return mk(topo.PFBF(2, 2, 4, 4, 3), routing.Kind{Class: routing.ClassPFBF, RX: 4, RY: 4, PX: 2, PY: 2})
-	case "pfbf4":
-		return mk(topo.PFBF(2, 1, 5, 5, 4), routing.Kind{Class: routing.ClassPFBF, RX: 5, RY: 5, PX: 2, PY: 1})
-	// N = 1296.
-	case "cm9":
-		return mk(topo.Mesh2D(12, 12, 9), routing.Kind{Class: routing.ClassMesh, RX: 12, RY: 12})
-	case "cm8":
-		return mk(topo.Mesh2D(18, 9, 8), routing.Kind{Class: routing.ClassMesh, RX: 18, RY: 9})
-	case "t2d9":
-		return mk(topo.Torus2D(12, 12, 9), routing.Kind{Class: routing.ClassTorus, RX: 12, RY: 12})
-	case "t2d8":
-		return mk(topo.Torus2D(18, 9, 8), routing.Kind{Class: routing.ClassTorus, RX: 18, RY: 9})
-	case "fbf9":
-		return mk(topo.FBF(12, 12, 9), routing.Kind{Class: routing.ClassFBF, RX: 12, RY: 12})
-	case "fbf8":
-		return mk(topo.FBF(18, 9, 8), routing.Kind{Class: routing.ClassFBF, RX: 18, RY: 9})
-	case "pfbf9":
-		return mk(topo.PFBF(2, 2, 6, 6, 9), routing.Kind{Class: routing.ClassPFBF, RX: 6, RY: 6, PX: 2, PY: 2})
-	case "pfbf8":
-		return mk(topo.PFBF(2, 1, 9, 9, 8), routing.Kind{Class: routing.ClassPFBF, RX: 9, RY: 9, PX: 2, PY: 1})
-	// N = 54 small-scale set (§5.6).
-	case "t2d54":
-		return mk(topo.Torus2D(6, 3, 3), routing.Kind{Class: routing.ClassTorus, RX: 6, RY: 3})
-	case "fbf54":
-		return mk(topo.FBF(6, 3, 3), routing.Kind{Class: routing.ClassFBF, RX: 6, RY: 3})
-	case "pfbf54":
-		return mk(topo.PFBF(2, 1, 3, 3, 3), routing.Kind{Class: routing.ClassPFBF, RX: 3, RY: 3, PX: 2, PY: 1})
-	}
-	// Slim NoCs: sn_<layout>_<N>.
-	var layout core.Layout
-	var n int
-	if _, err := fmt.Sscanf(name, "sn_basic_%d", &n); err == nil {
-		layout = core.LayoutBasic
-	} else if _, err := fmt.Sscanf(name, "sn_subgr_%d", &n); err == nil {
-		layout = core.LayoutSubgroup
-	} else if _, err := fmt.Sscanf(name, "sn_gr_%d", &n); err == nil {
-		layout = core.LayoutGroup
-	} else if _, err := fmt.Sscanf(name, "sn_rand_%d", &n); err == nil {
-		layout = core.LayoutRand
-	} else {
-		return NetSpec{}, fmt.Errorf("exp: unknown network %q", name)
-	}
-	params, err := core.FromNetworkSize(n)
-	if err != nil {
-		return NetSpec{}, err
-	}
-	s, err := core.New(params)
-	if err != nil {
-		return NetSpec{}, err
-	}
-	net, err := s.Network(layout, 1)
+	net, kind, err := slimnoc.BuildNetwork(slimnoc.NetworkSpec{Preset: name})
 	if err != nil {
 		return NetSpec{}, err
 	}
 	net.Name = name
-	return NetSpec{Name: name, Net: net, Kind: routing.Kind{Class: routing.ClassGeneric}}, nil
+	return NetSpec{Name: name, Net: net, Kind: kind}, nil
 }
 
 // MustNet builds a network or panics (experiment setup errors are
@@ -153,51 +111,54 @@ type RunSpec struct {
 	Opts    Options
 }
 
-// Run executes one simulation point.
+// schemeName maps a simulator buffer scheme onto its registry key.
+func schemeName(s sim.BufferScheme) string {
+	switch s {
+	case sim.CentralBuffer:
+		return "cbr"
+	case sim.ElasticLinks:
+		return "el"
+	default:
+		return "eb"
+	}
+}
+
+// Run executes one simulation point through the slimnoc facade.
 func Run(rs RunSpec) (sim.Result, error) {
-	if rs.VCs == 0 {
-		rs.VCs = 2
+	spec := slimnoc.RunSpec{
+		Name: rs.Spec.Name,
+		Routing: slimnoc.RoutingSpec{
+			Algorithm: "auto",
+			VCs:       rs.VCs,
+		},
+		Buffering: slimnoc.BufferingSpec{
+			Scheme: schemeName(rs.Scheme),
+			CBCap:  rs.CBCap,
+		},
+		Traffic: slimnoc.TrafficSpec{
+			Pattern: strings.ToLower(rs.Pattern),
+			Rate:    rs.Rate,
+		},
+		SMART:     rs.SMART,
+		HopFactor: rs.H,
+		Sim:       rs.Opts.SimSpec(),
 	}
-	rt, err := routing.NewRoutingFor(rs.Spec.Net, rs.Spec.Kind, rs.VCs)
+	opts := []slimnoc.Option{slimnoc.WithNetwork(rs.Spec.Net, rs.Spec.Kind)}
+	if rs.Source != nil {
+		opts = append(opts, slimnoc.WithSource(rs.Source))
+		spec.Traffic = slimnoc.TrafficSpec{}
+	}
+	if rs.Policy != nil {
+		opts = append(opts, slimnoc.WithAdaptivePolicy(rs.Policy))
+	}
+	if rs.BufCap != nil {
+		opts = append(opts, slimnoc.WithEdgeBufferSizing(rs.BufCap))
+	}
+	res, err := slimnoc.Run(context.Background(), spec, opts...)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	h := 1
-	if rs.SMART {
-		h = 9
-	}
-	if rs.H > 0 {
-		h = rs.H
-	}
-	src := rs.Source
-	if src == nil {
-		pat := traffic.PatternByName(rs.Pattern, rs.Spec.Net)
-		if pat == nil {
-			return sim.Result{}, fmt.Errorf("exp: unknown pattern %q", rs.Pattern)
-		}
-		src = &traffic.Synthetic{N: rs.Spec.Net.N(), Rate: rs.Rate, PacketFlits: 6, Pattern: pat}
-	}
-	warm, meas, drain := rs.Opts.Cycles()
-	cfg := sim.Config{
-		Net:           rs.Spec.Net,
-		Routing:       rt,
-		VCs:           rs.VCs,
-		Scheme:        rs.Scheme,
-		EdgeBufCap:    rs.BufCap,
-		CBCap:         rs.CBCap,
-		H:             h,
-		Traffic:       src,
-		Adaptive:      rs.Policy,
-		Seed:          rs.Opts.Seed + 1,
-		WarmupCycles:  warm,
-		MeasureCycles: meas,
-		DrainCycles:   drain,
-	}
-	s, err := sim.New(cfg)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return s.Run(), nil
+	return res.Raw, nil
 }
 
 // MustRun is Run with panic-on-error for experiment bodies.

@@ -168,6 +168,9 @@ func TestFig3Experiment(t *testing.T) {
 }
 
 func TestFig10aExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping layout sweep in short mode")
+	}
 	tables := Fig10a(quick())
 	if len(tables) != 3 {
 		t.Fatalf("Fig10a should emit 3 tables, got %d", len(tables))
@@ -196,6 +199,9 @@ func parseLat(t *testing.T, s string) float64 {
 }
 
 func TestFig12Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping small-network SMART sweep in short mode")
+	}
 	tables := Fig12(quick())
 	if len(tables) != 4 {
 		t.Fatalf("Fig12 should emit 4 tables, got %d", len(tables))
@@ -323,6 +329,9 @@ func TestSensConcentrationExperiment(t *testing.T) {
 }
 
 func TestAblCBSizeExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping central-buffer ablation in short mode")
+	}
 	tables := AblCBSize(quick())
 	if len(tables) != 2 {
 		t.Fatalf("want 2 tables, got %d", len(tables))

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -456,12 +457,51 @@ func (s *Sim) PathOccupancy(path []int) int {
 	return total
 }
 
+// Progress is the periodic telemetry snapshot emitted during a run.
+type Progress struct {
+	Cycle       int64
+	TotalCycles int64
+	Generated   int64 // tracked packets generated so far
+	Delivered   int64 // tracked packets delivered so far
+	InFlight    int64 // flits currently in the network
+}
+
 // Run executes the configured warmup + measurement + drain and returns the
 // result.
 func (s *Sim) Run() Result {
+	res, _ := s.RunContext(context.Background(), 0, nil)
+	return res
+}
+
+// RunContext is Run with cooperative cancellation and progress streaming.
+// The context is polled every `every` cycles (default 1024); onProgress,
+// when non-nil, is invoked on the same cadence. On cancellation the
+// simulation stops at the next poll point and returns the statistics
+// accumulated so far together with an error wrapping ctx.Err(), so callers
+// can distinguish a partial result from a completed one.
+func (s *Sim) RunContext(ctx context.Context, every int64, onProgress func(Progress)) (Result, error) {
 	cfg := &s.cfg
 	total := cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles
+	if every <= 0 {
+		every = 1024
+	}
+	var runErr error
 	for s.now = 0; s.now < total; s.now++ {
+		if s.now%every == 0 {
+			if ctx != nil && ctx.Err() != nil {
+				runErr = fmt.Errorf("sim: run cancelled at cycle %d of %d: %w", s.now, total, ctx.Err())
+				break
+			}
+			if onProgress != nil {
+				onProgress(Progress{
+					Cycle:       s.now,
+					TotalCycles: total,
+					Generated:   s.genMeasured,
+					Delivered:   s.doneMeasured,
+					InFlight:    s.inFlightFlits,
+				})
+			}
+		}
 		s.stepGenerate()
 		s.stepCredits()
 		s.flushEjections()
@@ -469,13 +509,14 @@ func (s *Sim) Run() Result {
 		s.stepRouters()
 		s.stepInject()
 	}
+	stop := s.now
 	// Account for ejections still completing their final router traversal.
-	s.now = total + routerDelayDirect
+	s.now = stop + routerDelayDirect
 	s.flushEjections()
-	s.now = total
+	s.now = stop
 	res := &s.Result
-	res.Cycles = total
-	res.DeadlockSuspected = s.inFlightFlits > 0 && s.lastEject < total-s.cfg.DrainCycles/2
+	res.Cycles = stop
+	res.DeadlockSuspected = runErr == nil && s.inFlightFlits > 0 && s.lastEject < total-s.cfg.DrainCycles/2
 	res.Generated = s.genMeasured
 	res.Delivered = s.doneMeasured
 	if len(s.lat) > 0 {
@@ -486,14 +527,23 @@ func (s *Sim) Run() Result {
 		res.AvgLatency = float64(sum) / float64(len(s.lat))
 		res.P99Latency = percentile(s.lat, 0.99)
 	}
-	n := float64(s.net.N())
-	res.Throughput = float64(s.flitsEjected) / (n * float64(cfg.MeasureCycles))
-	res.OfferedLoad = float64(s.flitsInjected) / (n * float64(cfg.MeasureCycles))
-	res.Saturated = s.genMeasured > 0 && float64(s.doneMeasured) < 0.95*float64(s.genMeasured)
+	// A cancelled run normalises rates over the measurement cycles that
+	// actually elapsed, and never reports saturation: undelivered packets
+	// then mean the run was cut short, not that the network saturated.
+	measured := stop - cfg.WarmupCycles
+	if measured > cfg.MeasureCycles {
+		measured = cfg.MeasureCycles
+	}
+	if measured > 0 {
+		n := float64(s.net.N())
+		res.Throughput = float64(s.flitsEjected) / (n * float64(measured))
+		res.OfferedLoad = float64(s.flitsInjected) / (n * float64(measured))
+	}
+	res.Saturated = runErr == nil && s.genMeasured > 0 && float64(s.doneMeasured) < 0.95*float64(s.genMeasured)
 	if s.hopPackets > 0 {
 		res.AvgHops = float64(s.totalHops) / float64(s.hopPackets)
 	}
-	return *res
+	return *res, runErr
 }
 
 func percentile(xs []int64, p float64) float64 {

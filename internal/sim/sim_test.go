@@ -557,6 +557,9 @@ func (m *mixedSource) OnDelivered(tt int64, src, dst, flits, class int, emit fun
 // buffers sized for full utilisation (EB-Var) should reach at least the
 // throughput of 5-flit buffers (Fig. 11's EB-Small penalty).
 func TestEBVarBeatsEBSmallAtHighLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping SN-L high-load sweep in short mode")
+	}
 	net := snNetwork(t, 9, 8, core.LayoutBasic)
 	run := func(cap func(int) int) float64 {
 		cfg := sim.Config{

@@ -1,0 +1,30 @@
+// Package slimnoc is the public facade of the Slim NoC reproduction: the
+// one supported entry point for building networks, configuring runs and
+// executing the cycle-accurate simulator.
+//
+// A run is described declaratively by a RunSpec — a JSON-serializable,
+// round-trippable document naming a topology, physical layout, routing
+// algorithm, buffering scheme, traffic generator and simulation phases.
+// Every name in a spec resolves through a string-keyed registry
+// (RegisterTopology, RegisterRouting, RegisterTraffic, RegisterScheme,
+// RegisterLayout), so new variants plug in without touching any caller:
+//
+//	spec := slimnoc.RunSpec{
+//		Network: slimnoc.NetworkSpec{Topology: "sn", Q: 5, Conc: 4, Layout: "subgr"},
+//		Traffic: slimnoc.TrafficSpec{Pattern: "rnd", Rate: 0.1},
+//		Sim:     slimnoc.QuickSim(),
+//	}
+//	res, err := slimnoc.Run(ctx, spec)
+//
+// Runs accept a context.Context for cooperative cancellation (a cancelled
+// run returns its partial metrics with an error wrapping ctx.Err()) and
+// functional options for everything the declarative spec cannot express:
+// WithProgress streams telemetry during long sweeps, WithSource injects a
+// custom traffic generator, WithNetwork reuses one built network across a
+// sweep, and WithAdaptivePolicy / WithEdgeBufferSizing override the
+// registry-provided routing policy and buffer sizing.
+//
+// SpecFlags layers the same spec model onto the flag package, giving every
+// command-line binary a shared `-spec run.json` + per-field overrides
+// convention.
+package slimnoc

@@ -1,0 +1,83 @@
+package slimnoc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// presetTable holds the static Table 4 configurations. Slim NoC presets of
+// the form sn_<layout>_<N> are resolved dynamically by ResolvePreset.
+var presetTable = struct {
+	mu sync.RWMutex
+	m  map[string]NetworkSpec
+}{m: map[string]NetworkSpec{
+	// N in {192, 200}.
+	"cm3":   {Topology: "mesh", X: 8, Y: 8, Conc: 3},
+	"cm4":   {Topology: "mesh", X: 10, Y: 5, Conc: 4},
+	"t2d3":  {Topology: "torus", X: 8, Y: 8, Conc: 3},
+	"t2d4":  {Topology: "torus", X: 10, Y: 5, Conc: 4},
+	"fbf3":  {Topology: "flatfly", X: 8, Y: 8, Conc: 3},
+	"fbf4":  {Topology: "flatfly", X: 10, Y: 5, Conc: 4},
+	"pfbf3": {Topology: "pflatfly", PartsX: 2, PartsY: 2, X: 4, Y: 4, Conc: 3},
+	"pfbf4": {Topology: "pflatfly", PartsX: 2, PartsY: 1, X: 5, Y: 5, Conc: 4},
+	// N = 1296.
+	"cm9":   {Topology: "mesh", X: 12, Y: 12, Conc: 9},
+	"cm8":   {Topology: "mesh", X: 18, Y: 9, Conc: 8},
+	"t2d9":  {Topology: "torus", X: 12, Y: 12, Conc: 9},
+	"t2d8":  {Topology: "torus", X: 18, Y: 9, Conc: 8},
+	"fbf9":  {Topology: "flatfly", X: 12, Y: 12, Conc: 9},
+	"fbf8":  {Topology: "flatfly", X: 18, Y: 9, Conc: 8},
+	"pfbf9": {Topology: "pflatfly", PartsX: 2, PartsY: 2, X: 6, Y: 6, Conc: 9},
+	"pfbf8": {Topology: "pflatfly", PartsX: 2, PartsY: 1, X: 9, Y: 9, Conc: 8},
+	// N = 54 small-scale set (§5.6).
+	"t2d54":  {Topology: "torus", X: 6, Y: 3, Conc: 3},
+	"fbf54":  {Topology: "flatfly", X: 6, Y: 3, Conc: 3},
+	"pfbf54": {Topology: "pflatfly", PartsX: 2, PartsY: 1, X: 3, Y: 3, Conc: 3},
+}}
+
+// RegisterPreset adds (or replaces) a named network configuration.
+func RegisterPreset(name string, ns NetworkSpec) {
+	presetTable.mu.Lock()
+	defer presetTable.mu.Unlock()
+	presetTable.m[strings.ToLower(name)] = ns
+}
+
+// Presets lists the static preset names (sorted). Dynamic sn_<layout>_<N>
+// names resolve through ResolvePreset but are not enumerated here.
+func Presets() []string {
+	presetTable.mu.RLock()
+	defer presetTable.mu.RUnlock()
+	out := make([]string, 0, len(presetTable.m))
+	for k := range presetTable.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolvePreset expands a preset name (Table 4 shorthand like cm3 or fbf9,
+// or the dynamic sn_<layout>_<N> form) into a full NetworkSpec.
+func ResolvePreset(name string) (NetworkSpec, error) {
+	key := strings.ToLower(name)
+	presetTable.mu.RLock()
+	ns, ok := presetTable.m[key]
+	presetTable.mu.RUnlock()
+	if ok {
+		return ns, nil
+	}
+	// Slim NoCs: sn_<layout>_<N>.
+	var layoutName string
+	var n int
+	for _, l := range Layouts() {
+		if _, err := fmt.Sscanf(key, "sn_"+l+"_%d", &n); err == nil {
+			layoutName = l
+			break
+		}
+	}
+	if layoutName == "" {
+		return NetworkSpec{}, fmt.Errorf("slimnoc: unknown network preset %q", name)
+	}
+	return NetworkSpec{Topology: "sn", Nodes: n, Layout: layoutName}, nil
+}

@@ -1,0 +1,270 @@
+package slimnoc
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Source generates traffic for the simulator; see sim.Source. Aliased here
+// so callers of the facade never import internal/sim.
+type Source = sim.Source
+
+// AdaptivePolicy chooses packet routes from live network state; see
+// sim.AdaptivePolicy.
+type AdaptivePolicy = sim.AdaptivePolicy
+
+// Progress is the periodic telemetry snapshot streamed during a run.
+type Progress = sim.Progress
+
+// Network is the placed router graph; see topo.Network.
+type Network = topo.Network
+
+// Kind names a network's topology family and grid parameters so the
+// deadlock-free routing appropriate to it can be derived; see routing.Kind.
+type Kind = routing.Kind
+
+// PathBuilder produces a router path and per-hop VCs for one packet; see
+// routing.PathBuilder.
+type PathBuilder = routing.PathBuilder
+
+// Topology classes understood by the "auto" routing algorithm, re-exported
+// for custom TopologyBuilder implementations.
+const (
+	ClassGeneric = routing.ClassGeneric
+	ClassMesh    = routing.ClassMesh
+	ClassTorus   = routing.ClassTorus
+	ClassFBF     = routing.ClassFBF
+	ClassPFBF    = routing.ClassPFBF
+)
+
+// Runner executes one RunSpec. A Runner is single-use: build it with
+// NewRunner (or use the package-level Run convenience) and call Run once.
+type Runner struct {
+	spec RunSpec
+
+	net     *topo.Network
+	kind    routing.Kind
+	haveNet bool
+
+	source        sim.Source
+	policy        sim.AdaptivePolicy
+	bufCap        func(dist int) int
+	progress      func(Progress)
+	progressEvery int64
+}
+
+// Option customises a Runner beyond what the declarative spec expresses.
+type Option func(*Runner)
+
+// WithNetwork supplies an already built network, bypassing the topology
+// registry (sweeps that reuse one network across many runs).
+func WithNetwork(net *Network, kind routing.Kind) Option {
+	return func(r *Runner) { r.net, r.kind, r.haveNet = net, kind, true }
+}
+
+// WithSource overrides the traffic section of the spec with a custom
+// generator (e.g. a recorded trace replay).
+func WithSource(src Source) Option {
+	return func(r *Runner) { r.source = src }
+}
+
+// WithAdaptivePolicy overrides the routing algorithm's adaptive policy.
+func WithAdaptivePolicy(p AdaptivePolicy) Option {
+	return func(r *Runner) { r.policy = p }
+}
+
+// WithEdgeBufferSizing overrides the per-VC edge-buffer capacity as a
+// function of wire length (edge-buffer schemes only).
+func WithEdgeBufferSizing(f func(dist int) int) Option {
+	return func(r *Runner) { r.bufCap = f }
+}
+
+// WithProgress streams a telemetry snapshot every `every` cycles (0 = the
+// simulator default of 1024) to fn during the run.
+func WithProgress(every int64, fn func(Progress)) Option {
+	return func(r *Runner) { r.progress, r.progressEvery = fn, every }
+}
+
+// NewRunner prepares a Runner for the spec.
+func NewRunner(spec RunSpec, opts ...Option) *Runner {
+	r := &Runner{spec: spec.Normalized()}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// NetworkInfo summarises the structural properties of the simulated
+// network.
+type NetworkInfo struct {
+	Name          string  `json:"name"`
+	Routers       int     `json:"routers"`
+	Nodes         int     `json:"nodes"`
+	NetworkRadix  int     `json:"network_radix"`
+	RouterRadix   int     `json:"router_radix"`
+	Diameter      int     `json:"diameter"`
+	CycleTimeNs   float64 `json:"cycle_time_ns"`
+	AvgWireLength float64 `json:"avg_wire_length"`
+}
+
+// Metrics is the typed measurement summary of one run.
+type Metrics struct {
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	AvgLatencyNs     float64 `json:"avg_latency_ns"`
+	P99LatencyCycles float64 `json:"p99_latency_cycles"`
+	// Throughput is accepted flits/node/cycle in the measurement window.
+	Throughput  float64 `json:"throughput"`
+	OfferedLoad float64 `json:"offered_load"`
+	AvgHops     float64 `json:"avg_hops"`
+	Delivered   int64   `json:"delivered"`
+	Generated   int64   `json:"generated"`
+	Cycles      int64   `json:"cycles"`
+	Saturated   bool    `json:"saturated"`
+	// DeadlockSuspected flags a run whose drain phase stalled with flits
+	// still in flight — a routing or flow-control misconfiguration.
+	DeadlockSuspected bool `json:"deadlock_suspected,omitempty"`
+}
+
+// Result is the outcome of one run: the spec that produced it, the network
+// it ran on, and the measured metrics. Raw carries the unwrapped simulator
+// result for callers layered below the facade.
+type Result struct {
+	Spec    RunSpec     `json:"spec"`
+	Network NetworkInfo `json:"network"`
+	Metrics Metrics     `json:"metrics"`
+	Raw     sim.Result  `json:"-"`
+}
+
+// Network resolves (building if necessary) the spec's network. Exposed so
+// analyses that need the graph itself (power models, layout costs) share
+// the run's exact topology.
+func (r *Runner) Network() (*Network, routing.Kind, error) {
+	if !r.haveNet {
+		net, kind, err := BuildNetwork(r.spec.Network)
+		if err != nil {
+			return nil, routing.Kind{}, err
+		}
+		r.net, r.kind, r.haveNet = net, kind, true
+	}
+	return r.net, r.kind, nil
+}
+
+// Run executes the spec. Cancelling the context stops the simulation at the
+// next poll point; the returned Result then holds the metrics accumulated
+// so far alongside an error wrapping ctx.Err().
+func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	spec := r.spec
+	net, kind, err := r.Network()
+	if err != nil {
+		return nil, err
+	}
+
+	vcs := spec.Routing.VCs
+	re, ok := routings.lookup(spec.Routing.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("slimnoc: unknown routing algorithm %q (have %s)",
+			spec.Routing.Algorithm, strings.Join(Routings(), ", "))
+	}
+	pb, policy, err := re.New(net, kind, vcs)
+	if err != nil {
+		return nil, err
+	}
+	if r.policy != nil {
+		policy = r.policy
+	}
+
+	h := spec.HopsPerCycle()
+	se, ok := schemes.lookup(spec.Buffering.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("slimnoc: unknown buffer scheme %q (have %s)",
+			spec.Buffering.Scheme, strings.Join(Schemes(), ", "))
+	}
+	sc, err := se.New(spec.Buffering, h, vcs)
+	if err != nil {
+		return nil, err
+	}
+	if r.bufCap != nil {
+		sc.BufCap = r.bufCap
+	}
+
+	src := r.source
+	if src == nil {
+		te, ok := traffics.lookup(spec.Traffic.Pattern)
+		if !ok {
+			return nil, fmt.Errorf("slimnoc: unknown traffic pattern %q (have %s)",
+				spec.Traffic.Pattern, strings.Join(Traffics(), ", "))
+		}
+		if src, err = te.New(net, spec.Traffic); err != nil {
+			return nil, err
+		}
+	}
+
+	cfg := sim.Config{
+		Net:           net,
+		Routing:       pb,
+		VCs:           vcs,
+		Scheme:        sc.Scheme,
+		EdgeBufCap:    sc.BufCap,
+		CBCap:         sc.CBCap,
+		H:             h,
+		PacketFlits:   spec.Traffic.PacketFlits,
+		InjQueueCap:   spec.Sim.InjQueueCap,
+		Seed:          spec.Sim.Seed,
+		Traffic:       src,
+		Adaptive:      policy,
+		WarmupCycles:  spec.Sim.WarmupCycles,
+		MeasureCycles: spec.Sim.MeasureCycles,
+		DrainCycles:   spec.Sim.DrainCycles,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	raw, runErr := s.RunContext(ctx, r.progressEvery, r.progress)
+	res := &Result{
+		Spec:    spec,
+		Network: networkInfo(net),
+		Metrics: metricsOf(raw, net.CycleTimeNs),
+		Raw:     raw,
+	}
+	return res, runErr
+}
+
+// Run builds a Runner for the spec and executes it.
+func Run(ctx context.Context, spec RunSpec, opts ...Option) (*Result, error) {
+	return NewRunner(spec, opts...).Run(ctx)
+}
+
+func networkInfo(net *topo.Network) NetworkInfo {
+	return NetworkInfo{
+		Name:          net.Name,
+		Routers:       net.Nr,
+		Nodes:         net.N(),
+		NetworkRadix:  net.NetworkRadix(),
+		RouterRadix:   net.RouterRadix(),
+		Diameter:      net.Diameter(),
+		CycleTimeNs:   net.CycleTimeNs,
+		AvgWireLength: net.AvgWireLength(),
+	}
+}
+
+func metricsOf(r sim.Result, cycleNs float64) Metrics {
+	return Metrics{
+		AvgLatencyCycles:  r.AvgLatency,
+		AvgLatencyNs:      r.AvgLatency * cycleNs,
+		P99LatencyCycles:  r.P99Latency,
+		Throughput:        r.Throughput,
+		OfferedLoad:       r.OfferedLoad,
+		AvgHops:           r.AvgHops,
+		Delivered:         r.Delivered,
+		Generated:         r.Generated,
+		Cycles:            r.Cycles,
+		Saturated:         r.Saturated,
+		DeadlockSuspected: r.DeadlockSuspected,
+	}
+}

@@ -1,0 +1,240 @@
+package slimnoc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// RunSpec is the declarative description of one simulation run. It is
+// JSON-serializable and round-trippable: a spec saved from one run rebuilds
+// the identical network, routing, traffic and simulator configuration, so
+// re-running it with the same seed reproduces the same metrics.
+type RunSpec struct {
+	// Name optionally labels the run (reports, result files).
+	Name      string        `json:"name,omitempty"`
+	Network   NetworkSpec   `json:"network"`
+	Routing   RoutingSpec   `json:"routing,omitempty"`
+	Buffering BufferingSpec `json:"buffering,omitempty"`
+	Traffic   TrafficSpec   `json:"traffic,omitempty"`
+	// SMART enables SMART links: flits traverse HopFactor grid hops per
+	// cycle (§3.2.2, default 9 at 45 nm).
+	SMART bool `json:"smart,omitempty"`
+	// HopFactor overrides the SMART hop factor H (0 = 9 with SMART, 1
+	// without).
+	HopFactor int     `json:"hop_factor,omitempty"`
+	Sim       SimSpec `json:"sim,omitempty"`
+}
+
+// NetworkSpec selects and parameterises a topology from the topology
+// registry. Either Preset names a ready-made configuration (the Table 4
+// shorthand: cm3, t2d9, fbf8, pfbf4, sn_subgr_200, ...) or Topology names a
+// registered family with explicit parameters.
+type NetworkSpec struct {
+	// Preset expands to a full NetworkSpec via ResolvePreset; explicitly
+	// set fields below then override the preset's values.
+	Preset string `json:"preset,omitempty"`
+	// Topology is a topology registry key: sn, mesh, torus, flatfly,
+	// pflatfly, dragonfly, clos.
+	Topology string `json:"topology,omitempty"`
+	// X, Y are the router grid dimensions (mesh, torus, flatfly; the
+	// per-partition grid for pflatfly).
+	X int `json:"x,omitempty"`
+	Y int `json:"y,omitempty"`
+	// Conc is the concentration p: nodes per router.
+	Conc int `json:"conc,omitempty"`
+	// PartsX, PartsY are the partition grid dimensions (pflatfly only).
+	PartsX int `json:"parts_x,omitempty"`
+	PartsY int `json:"parts_y,omitempty"`
+	// Q is the Slim NoC structural parameter (sn only); Nodes is the
+	// alternative: the target node count, resolved via Table 2.
+	Q     int `json:"q,omitempty"`
+	Nodes int `json:"nodes,omitempty"`
+	// Layout is a layout registry key (sn only): basic, subgr, gr, rand.
+	Layout string `json:"layout,omitempty"`
+	// LayoutSeed seeds randomized layouts (sn rand; default 1).
+	LayoutSeed int64 `json:"layout_seed,omitempty"`
+	// Extra carries topology-specific integer parameters: dragonfly uses
+	// a/h/g, clos uses leaves/spines.
+	Extra map[string]int `json:"extra,omitempty"`
+}
+
+// RoutingSpec selects a routing algorithm from the routing registry.
+type RoutingSpec struct {
+	// Algorithm is a routing registry key: auto (topology-appropriate
+	// deadlock-free default), minimal, ugal-l, ugal-g, min-adapt.
+	Algorithm string `json:"algorithm,omitempty"`
+	// VCs is the virtual-channel count (default 2).
+	VCs int `json:"vcs,omitempty"`
+}
+
+// BufferingSpec selects a buffer organisation from the scheme registry.
+type BufferingSpec struct {
+	// Scheme is a scheme registry key: eb, eb-large, eb-var, el, cbr.
+	Scheme string `json:"scheme,omitempty"`
+	// EdgeCap overrides the per-VC edge-buffer capacity in flits (eb only;
+	// 0 = the scheme's default).
+	EdgeCap int `json:"edge_cap,omitempty"`
+	// CBCap is the central-buffer capacity in flits (cbr only; default 20).
+	CBCap int `json:"cb_cap,omitempty"`
+}
+
+// TrafficSpec selects a traffic generator from the traffic registry.
+type TrafficSpec struct {
+	// Pattern is a traffic registry key: rnd, shf, rev, adv1, adv2, asym,
+	// or trace.
+	Pattern string `json:"pattern,omitempty"`
+	// Rate is the offered load in flits/node/cycle (synthetic patterns).
+	Rate float64 `json:"rate,omitempty"`
+	// PacketFlits is the packet size in flits (default 6, §5.1).
+	PacketFlits int `json:"packet_flits,omitempty"`
+	// Trace names the PARSEC/SPLASH benchmark for pattern "trace":
+	// barnes, fft, lu, radix, water-n, water-s.
+	Trace string `json:"trace,omitempty"`
+}
+
+// SimSpec sets the simulation phases and seed. Zero cycle values fall back
+// to the simulator's full-methodology defaults.
+type SimSpec struct {
+	WarmupCycles  int64 `json:"warmup_cycles,omitempty"`
+	MeasureCycles int64 `json:"measure_cycles,omitempty"`
+	DrainCycles   int64 `json:"drain_cycles,omitempty"`
+	// Seed drives every random decision of the run (injection processes,
+	// adaptive choices).
+	Seed int64 `json:"seed,omitempty"`
+	// InjQueueCap is the NIC injection queue capacity in flits (default 20).
+	InjQueueCap int `json:"inj_queue_cap,omitempty"`
+}
+
+// QuickSim returns the short warmup/measure/drain phases used by examples
+// and the benchmark harness.
+func QuickSim() SimSpec {
+	return SimSpec{WarmupCycles: 1000, MeasureCycles: 3000, DrainCycles: 4000}
+}
+
+// FullSim returns the paper-methodology phases (§5.1).
+func FullSim() SimSpec {
+	return SimSpec{WarmupCycles: 5000, MeasureCycles: 20000, DrainCycles: 30000}
+}
+
+// DefaultSpec returns the facade's baseline run: the SN-S design under
+// uniform random traffic at a moderate load, quick cycles.
+func DefaultSpec() RunSpec {
+	spec := RunSpec{
+		Network: NetworkSpec{Preset: "sn_subgr_200"},
+		Traffic: TrafficSpec{Pattern: "rnd", Rate: 0.06},
+		Sim:     QuickSim(),
+	}
+	spec.Sim.Seed = 1
+	return spec.Normalized()
+}
+
+// Normalized returns a copy with every defaultable field filled in, so that
+// two specs that configure the same run compare equal and a normalized spec
+// survives a JSON round trip unchanged.
+func (s RunSpec) Normalized() RunSpec {
+	if s.Routing.Algorithm == "" {
+		s.Routing.Algorithm = "auto"
+	}
+	s.Routing.Algorithm = strings.ToLower(s.Routing.Algorithm)
+	if s.Routing.VCs == 0 {
+		s.Routing.VCs = 2
+	}
+	if s.Buffering.Scheme == "" {
+		s.Buffering.Scheme = "eb"
+	}
+	s.Buffering.Scheme = strings.ToLower(s.Buffering.Scheme)
+	if s.Traffic.Pattern == "" && s.Traffic.Trace == "" {
+		s.Traffic.Pattern = "rnd"
+	}
+	if s.Traffic.Pattern == "" && s.Traffic.Trace != "" {
+		s.Traffic.Pattern = "trace"
+	}
+	s.Traffic.Pattern = strings.ToLower(s.Traffic.Pattern)
+	if s.Traffic.PacketFlits == 0 {
+		s.Traffic.PacketFlits = 6
+	}
+	s.Network.Preset = strings.ToLower(s.Network.Preset)
+	s.Network.Topology = strings.ToLower(s.Network.Topology)
+	s.Network.Layout = strings.ToLower(s.Network.Layout)
+	return s
+}
+
+// HopsPerCycle resolves the effective SMART hop factor H for the spec.
+func (s RunSpec) HopsPerCycle() int {
+	h := 1
+	if s.SMART {
+		h = 9
+	}
+	if s.HopFactor > 0 {
+		h = s.HopFactor
+	}
+	return h
+}
+
+// Validate reports the first structural problem with the spec without
+// building anything expensive.
+func (s RunSpec) Validate() error {
+	s = s.Normalized()
+	if s.Network.Preset == "" && s.Network.Topology == "" {
+		return fmt.Errorf("slimnoc: spec needs network.preset or network.topology")
+	}
+	if s.Network.Preset != "" {
+		if _, err := ResolvePreset(s.Network.Preset); err != nil {
+			return err
+		}
+	} else if _, ok := topologies.lookup(s.Network.Topology); !ok {
+		return fmt.Errorf("slimnoc: unknown topology %q (have %s)",
+			s.Network.Topology, strings.Join(Topologies(), ", "))
+	}
+	if _, ok := routings.lookup(s.Routing.Algorithm); !ok {
+		return fmt.Errorf("slimnoc: unknown routing algorithm %q (have %s)",
+			s.Routing.Algorithm, strings.Join(Routings(), ", "))
+	}
+	if _, ok := schemes.lookup(s.Buffering.Scheme); !ok {
+		return fmt.Errorf("slimnoc: unknown buffer scheme %q (have %s)",
+			s.Buffering.Scheme, strings.Join(Schemes(), ", "))
+	}
+	if _, ok := traffics.lookup(s.Traffic.Pattern); !ok {
+		return fmt.Errorf("slimnoc: unknown traffic pattern %q (have %s)",
+			s.Traffic.Pattern, strings.Join(Traffics(), ", "))
+	}
+	return nil
+}
+
+// JSON renders the spec as indented JSON.
+func (s RunSpec) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseSpec decodes a RunSpec from JSON, rejecting unknown fields so typos
+// in hand-written spec files fail loudly instead of being ignored.
+func ParseSpec(data []byte) (RunSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s RunSpec
+	if err := dec.Decode(&s); err != nil {
+		return RunSpec{}, fmt.Errorf("slimnoc: parsing spec: %w", err)
+	}
+	return s.Normalized(), nil
+}
+
+// LoadSpec reads and parses a spec file.
+func LoadSpec(path string) (RunSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return RunSpec{}, fmt.Errorf("slimnoc: loading spec: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// SaveSpec writes the spec as indented JSON to path.
+func SaveSpec(path string, s RunSpec) error {
+	data, err := s.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
