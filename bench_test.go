@@ -6,11 +6,15 @@
 package repro_test
 
 import (
+	"context"
+	"encoding/json"
+	"runtime"
 	"strconv"
 	"testing"
 
 	"repro/internal/exp"
 	"repro/internal/stats"
+	"repro/slimnoc"
 )
 
 func opts() exp.Options { return exp.Options{Quick: true, Seed: 1} }
@@ -24,7 +28,7 @@ func runExp(b *testing.B, id string) []*stats.Table {
 	}
 	var tables []*stats.Table
 	for i := 0; i < b.N; i++ {
-		tables = e.Run(opts())
+		tables = e.Run(context.Background(), opts())
 	}
 	if len(tables) == 0 {
 		b.Fatalf("%s produced no tables", id)
@@ -368,5 +372,85 @@ func BenchmarkAblSmartHopFactor(b *testing.B) {
 	b.ReportMetric(1-h9/h1, "smart-latency-reduction")
 	if h9 >= h1 {
 		b.Error("SMART (H=9) should reduce latency on long-wire layouts")
+	}
+}
+
+// campaignBenchPoints expands a quick fig12-style sweep: the small-network
+// SMART comparison at three loads under uniform random traffic.
+func campaignBenchPoints(b *testing.B) []slimnoc.RunSpec {
+	b.Helper()
+	sweep := slimnoc.SweepSpec{
+		Name: "bench-fig12",
+		Base: slimnoc.RunSpec{
+			SMART: true,
+			Sim:   slimnoc.QuickSim(),
+		},
+		Axes: slimnoc.SweepAxes{
+			Presets:  []string{"cm3", "t2d3", "sn_subgr_200", "fbf3"},
+			Patterns: []string{"rnd"},
+			Loads:    []float64{0.008, 0.06, 0.24},
+		},
+	}
+	sweep.Base.Sim.Seed = 1
+	points, err := sweep.Points()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return points
+}
+
+// runCampaignBench executes the sweep with the given worker count and
+// returns the per-point metrics serialized for comparison.
+func runCampaignBench(b *testing.B, points []slimnoc.RunSpec, jobs int) []string {
+	b.Helper()
+	results, err := slimnoc.RunCampaign(context.Background(), points, slimnoc.WithJobs(jobs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]string, len(results))
+	for i, p := range results {
+		if p.Err != nil {
+			b.Fatalf("point %d (%s): %v", i, p.Spec.Name, p.Err)
+		}
+		m, err := json.Marshal(p.Result.Metrics)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = string(m)
+	}
+	return out
+}
+
+// BenchmarkCampaign compares serial against all-cores execution of a quick
+// fig12-style sweep through the Campaign engine, and asserts the contract
+// behind the parallelism: per-point metrics are byte-identical at any job
+// count (seeds are fixed at sweep expansion, never derived from execution
+// order). Compare the two sub-benchmarks' ns/op for the campaign speedup.
+func BenchmarkCampaign(b *testing.B) {
+	points := campaignBenchPoints(b)
+	var serial, parallel []string
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			serial = runCampaignBench(b, points, 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportMetric(float64(runtime.NumCPU()), "jobs")
+		for i := 0; i < b.N; i++ {
+			parallel = runCampaignBench(b, points, runtime.NumCPU())
+		}
+	})
+	// Filtering to one sub-benchmark (-bench BenchmarkCampaign/serial)
+	// leaves the other slice empty; only compare when both actually ran.
+	if len(serial) == 0 || len(parallel) == 0 {
+		return
+	}
+	if len(serial) != len(parallel) {
+		b.Fatalf("serial ran %d points, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			b.Errorf("point %d: serial metrics %s != parallel %s", i, serial[i], parallel[i])
+		}
 	}
 }

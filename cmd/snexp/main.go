@@ -1,19 +1,24 @@
 // Command snexp runs the paper-reproduction experiments and prints their
 // tables. With no arguments it lists the registry; -exp runs one experiment,
 // -all runs everything. Scale and seed come from the shared spec flags
-// (-full, -seed, or a -spec file's sim section).
+// (-full, -seed, or a -spec file's sim section); -jobs sets the simulation
+// worker count (0 = every CPU — per-point results are identical at any job
+// count). Ctrl-C cancels the in-flight sweep and exits cleanly.
 //
 // Usage:
 //
 //	snexp -list
-//	snexp -exp fig12 [-full] [-csv]
+//	snexp -exp fig12 [-full] [-csv] [-jobs 4]
 //	snexp -all [-full]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/exp"
 	"repro/internal/stats"
@@ -27,6 +32,7 @@ func main() {
 		id   = flag.String("exp", "", "experiment ID to run")
 		all  = flag.Bool("all", false, "run every experiment")
 		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jobs = flag.Int("jobs", 0, "parallel simulation workers (0 = NumCPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -41,10 +47,13 @@ func main() {
 	opts := exp.Options{
 		Quick:         spec.Sim.MeasureCycles < full.MeasureCycles,
 		Seed:          spec.Sim.Seed,
+		Jobs:          *jobs,
 		WarmupCycles:  spec.Sim.WarmupCycles,
 		MeasureCycles: spec.Sim.MeasureCycles,
 		DrainCycles:   spec.Sim.DrainCycles,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	switch {
 	case *list || (*id == "" && !*all):
 		fmt.Println("Available experiments:")
@@ -55,7 +64,11 @@ func main() {
 	case *all:
 		for _, e := range exp.Registry() {
 			fmt.Printf("== running %s: %s\n", e.ID, e.Title)
-			emit(e.Run(opts), *csv)
+			tables, err := runExperiment(ctx, e, opts)
+			if err != nil {
+				interrupted(err)
+			}
+			emit(tables, *csv)
 		}
 	default:
 		e, err := exp.ByID(*id)
@@ -63,8 +76,34 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		emit(e.Run(opts), *csv)
+		tables, err := runExperiment(ctx, e, opts)
+		if err != nil {
+			interrupted(err)
+		}
+		emit(tables, *csv)
 	}
+}
+
+// runExperiment invokes one experiment, converting the cancellation panic
+// the Must* experiment helpers raise on Ctrl-C back into an error.
+func runExperiment(ctx context.Context, e exp.Experiment, opts exp.Options) (tables []*stats.Table, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if rerr, ok := r.(error); ok && errors.Is(rerr, context.Canceled) {
+			err = rerr
+			return
+		}
+		panic(r)
+	}()
+	return e.Run(ctx, opts), nil
+}
+
+func interrupted(err error) {
+	fmt.Fprintln(os.Stderr, "snexp: interrupted:", err)
+	os.Exit(130)
 }
 
 func emit(tables []*stats.Table, csv bool) {

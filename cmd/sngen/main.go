@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +35,7 @@ func main() {
 
 	switch {
 	case *table2:
-		for _, t := range exp.Table2(exp.Options{}) {
+		for _, t := range exp.Table2(context.Background(), exp.Options{}) {
 			fmt.Println(t.String())
 		}
 	case *field != 0:

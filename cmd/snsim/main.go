@@ -1,8 +1,12 @@
-// Command snsim runs a single network simulation point and prints its
-// result: latency, throughput, hop count and saturation state. Runs are
-// described by slimnoc run specs: load one with -spec and/or override
-// individual fields with flags, and persist the resolved spec with
-// -save-spec for reproducible re-runs.
+// Command snsim runs network simulations and prints their results. Single
+// runs are described by slimnoc run specs: load one with -spec and/or
+// override individual fields with flags, and persist the resolved spec with
+// -save-spec for reproducible re-runs. Whole evaluation grids run as
+// campaigns: -sweep loads a declarative sweep file, expands its axes into a
+// cartesian product of points, and executes them on -jobs parallel workers,
+// streaming per-point lines to stdout and (with -out) JSONL or (-csv-out)
+// CSV records to files. Ctrl-C cancels the campaign and keeps the partial
+// results.
 //
 // Usage:
 //
@@ -10,6 +14,7 @@
 //	snsim -net fbf3 -pattern adv1 -rate 0.24 -cycles 20000
 //	snsim -spec run.json
 //	snsim -net t2d9 -rate 0.12 -save-spec run.json
+//	snsim -sweep sweep.json -jobs 8 -out results.jsonl
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"repro/slimnoc"
 )
@@ -27,7 +34,30 @@ func main() {
 		BindNetwork(flag.CommandLine).
 		BindRun(flag.CommandLine)
 	progress := flag.Bool("progress", false, "print periodic progress during the run")
+	sweepPath := flag.String("sweep", "", "run a sweep campaign from this JSON file instead of a single point")
+	jobs := flag.Int("jobs", 0, "campaign workers (0 = NumCPU, 1 = serial); -sweep only")
+	outPath := flag.String("out", "", "write campaign results as JSONL to this file; -sweep only")
+	csvPath := flag.String("csv-out", "", "write campaign results as CSV to this file; -sweep only")
 	flag.Parse()
+
+	if *sweepPath != "" {
+		// The single-run spec flags do not apply to a campaign: its points
+		// come entirely from the sweep file. Reject them loudly instead of
+		// silently running a different configuration than requested.
+		sweepFlags := map[string]bool{"sweep": true, "jobs": true, "out": true, "csv-out": true}
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			if !sweepFlags[f.Name] {
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fatal(fmt.Errorf("%s do(es) not apply to -sweep mode; set those fields in the sweep file's base spec",
+				strings.Join(conflicts, ", ")))
+		}
+		runSweep(*sweepPath, *jobs, *outPath, *csvPath)
+		return
+	}
 
 	spec, err := sf.Spec(slimnoc.DefaultSpec())
 	if err != nil {
@@ -55,6 +85,81 @@ func main() {
 	fmt.Printf("packets     %d delivered of %d tracked\n", m.Delivered, m.Generated)
 	if m.Saturated {
 		fmt.Println("state       SATURATED")
+	}
+}
+
+// runSweep executes a declarative sweep campaign.
+func runSweep(path string, jobs int, outPath, csvPath string) {
+	sweep, err := slimnoc.LoadSweep(path)
+	if err != nil {
+		fatal(err)
+	}
+	points, err := sweep.Points()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sweep %s: %d points\n", sweep.Name, len(points))
+
+	copts := []slimnoc.CampaignOption{
+		slimnoc.WithJobs(jobs),
+		slimnoc.WithOnPoint(func(p slimnoc.PointResult) {
+			if p.Err != nil {
+				fmt.Printf("  [%3d] %-40s ERROR %v\n", p.Index, p.Spec.Name, p.Err)
+				return
+			}
+			m := p.Result.Metrics
+			state := ""
+			if m.Saturated {
+				state = "  SATURATED"
+			}
+			fmt.Printf("  [%3d] %-40s lat %8.2f cyc  thr %.4f%s\n",
+				p.Index, p.Spec.Name, m.AvgLatencyCycles, m.Throughput, state)
+		}),
+	}
+	var files []*os.File
+	for _, sink := range []struct {
+		path string
+		mk   func(f *os.File) slimnoc.Sink
+	}{
+		{outPath, func(f *os.File) slimnoc.Sink { return slimnoc.NewJSONLSink(f) }},
+		{csvPath, func(f *os.File) slimnoc.Sink { return slimnoc.NewCSVSink(f) }},
+	} {
+		if sink.path == "" {
+			continue
+		}
+		f, err := os.Create(sink.path)
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, f)
+		copts = append(copts, slimnoc.WithSink(sink.mk(f)))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := slimnoc.RunCampaign(ctx, points, copts...)
+	for _, f := range files {
+		f.Close()
+	}
+	// A point is done only when it finished cleanly: a cancelled in-flight
+	// point carries partial metrics alongside its error and must not count.
+	done, failed := 0, 0
+	for _, p := range results {
+		switch {
+		case p.Err == nil:
+			done++
+		case err == nil:
+			failed++
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snsim: campaign interrupted (%d of %d points done): %v\n",
+			done, len(points), err)
+		os.Exit(130)
+	}
+	fmt.Printf("done: %d points (%d failed)\n", done, failed)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -2,10 +2,12 @@
 // Topology for High Energy Efficiency and Scalability" (ASPLOS 2018).
 //
 // The public API is the slimnoc package: declarative, JSON-round-trippable
-// run specs, string-keyed registries for topologies / layouts / routing
-// algorithms / traffic patterns / buffering schemes, and a context-aware
-// Runner with streaming progress. Start there (and with README.md, which
-// maps every registry name to its paper section).
+// run specs and sweep campaigns, string-keyed registries for topologies /
+// layouts / routing algorithms / traffic patterns / buffering schemes, a
+// context-aware Runner with streaming progress, and a parallel Campaign
+// engine that executes whole evaluation grids with deterministic per-point
+// seeds. Start there (and with README.md, which maps every registry name to
+// its paper section).
 //
 // The implementation lives under internal/: the Slim NoC construction and
 // layout models in internal/core, the finite fields in internal/gf, the

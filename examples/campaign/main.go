@@ -1,0 +1,112 @@
+// Campaign tour: declare a Fig. 12-style evaluation grid as a SweepSpec,
+// persist it as sweep.json (the same file `snsim -sweep` consumes), and
+// execute it twice through the Campaign engine — serially, then on every
+// core — to show that parallelism changes wall-clock only: per-point seeds
+// are fixed at expansion time, so the metrics are byte-identical.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/slimnoc"
+)
+
+func main() {
+	// 1. Declare the grid: three N=54 networks x two patterns x three
+	//    loads (18 points), quick cycles. Axes expand network-slowest, so
+	//    consecutive points share a cached network build.
+	sweep := slimnoc.SweepSpec{
+		Name: "fig12-mini",
+		Base: slimnoc.RunSpec{
+			SMART: true,
+			Sim:   slimnoc.SimSpec{WarmupCycles: 500, MeasureCycles: 1500, DrainCycles: 2000, Seed: 1},
+		},
+		Axes: slimnoc.SweepAxes{
+			Presets:  []string{"sn_subgr_54", "fbf54", "t2d54"},
+			Patterns: []string{"rnd", "adv1"},
+			Loads:    []float64{0.02, 0.06, 0.12},
+		},
+	}
+
+	// 2. Round-trip it through disk: sweep.json is what snsim -sweep runs.
+	dir, err := os.MkdirTemp("", "campaign")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "sweep.json")
+	if err := slimnoc.SaveSweep(path, sweep); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := slimnoc.LoadSweep(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := loaded.Points()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep %s: %d points (also runnable via: snsim -sweep %s)\n",
+		loaded.Name, len(points), path)
+
+	// 3. Run serially, then in parallel, with a JSONL sink on the parallel
+	//    pass (one line per completed point, in completion order).
+	run := func(jobs int, opts ...slimnoc.CampaignOption) ([]slimnoc.PointResult, time.Duration) {
+		start := time.Now()
+		results, err := slimnoc.RunCampaign(context.Background(), points,
+			append(opts, slimnoc.WithJobs(jobs))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return results, time.Since(start)
+	}
+	serial, serialDur := run(1)
+
+	out, err := os.Create(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallel, parallelDur := run(runtime.NumCPU(), slimnoc.WithSink(slimnoc.NewJSONLSink(out)))
+	out.Close()
+
+	// 4. Verify determinism: identical metrics at any job count.
+	for i := range serial {
+		s, _ := json.Marshal(serial[i].Result.Metrics)
+		p, _ := json.Marshal(parallel[i].Result.Metrics)
+		if string(s) != string(p) {
+			log.Fatalf("point %d: serial and parallel metrics differ", i)
+		}
+	}
+
+	// 5. Report the grid, a latency table per pattern.
+	fmt.Printf("\n%-14s %-6s", "network", "pattern")
+	for _, l := range sweep.Axes.Loads {
+		fmt.Printf(" %8s", fmt.Sprintf("@%.2f", l))
+	}
+	fmt.Println(" [avg latency, cycles]")
+	nl := len(sweep.Axes.Loads)
+	for i := 0; i < len(parallel); i += nl {
+		spec := parallel[i].Spec
+		fmt.Printf("%-14s %-6s", spec.Network.Preset, spec.Traffic.Pattern)
+		for j := 0; j < nl; j++ {
+			m := parallel[i+j].Result.Metrics
+			if m.Saturated {
+				fmt.Printf(" %8s", "sat")
+			} else {
+				fmt.Printf(" %8.1f", m.AvgLatencyCycles)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nserial %v, parallel (%d jobs) %v — %.1fx speedup, identical metrics\n",
+		serialDur.Round(time.Millisecond), runtime.NumCPU(),
+		parallelDur.Round(time.Millisecond),
+		float64(serialDur)/float64(parallelDur))
+}

@@ -1,10 +1,11 @@
 // Ablations on the design choices DESIGN.md calls out: central-buffer
 // capacity (§5.2.1 tests 6/10/20/40/70/100 flits), VC count, and the SMART
-// hop factor H.
+// hop factor H. Each sweep submits its whole grid as one parallel batch.
 
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/stats"
@@ -14,7 +15,7 @@ import (
 // moderate and a high RND load, reproducing the §5.2.1 observation that
 // small CBs outperform large ones (which hold more packets and raise
 // latency) while still removing head-of-line blocking.
-func AblCBSize(o Options) []*stats.Table {
+func AblCBSize(ctx context.Context, o Options) []*stats.Table {
 	sizes := []int{6, 10, 20, 40, 70, 100}
 	if o.Quick {
 		sizes = []int{6, 20, 40, 100}
@@ -27,11 +28,15 @@ func AblCBSize(o Options) []*stats.Table {
 			Header: []string{"cb_flits", "lat@0.06", "lat@0.30", "thr@0.30"},
 		}
 		spec := MustNet(netName)
+		var points []RunSpec
 		for _, cb := range sizes {
-			low := MustRun(RunSpec{Spec: spec, Scheme: 1, CBCap: cb,
-				Pattern: "RND", Rate: 0.06, Opts: o})
-			high := MustRun(RunSpec{Spec: spec, Scheme: 1, CBCap: cb,
-				Pattern: "RND", Rate: 0.30, Opts: o})
+			points = append(points,
+				RunSpec{Spec: spec, Scheme: 1, CBCap: cb, Pattern: "RND", Rate: 0.06, Opts: o},
+				RunSpec{Spec: spec, Scheme: 1, CBCap: cb, Pattern: "RND", Rate: 0.30, Opts: o})
+		}
+		results := MustRunBatch(ctx, o, points)
+		for i, cb := range sizes {
+			low, high := results[2*i], results[2*i+1]
 			t.AddRowF(cb, fmtLat(low), fmtLat(high), high.Throughput)
 		}
 		out = append(out, t)
@@ -42,16 +47,23 @@ func AblCBSize(o Options) []*stats.Table {
 // AblVCs sweeps the virtual channel count on SN-S: 2 VCs suffice for
 // deadlock freedom at diameter 2 (§4.3); more VCs trade buffer area for
 // throughput under contention.
-func AblVCs(o Options) []*stats.Table {
+func AblVCs(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:     "abl-vcs",
 		Title:  "VC count sweep, sn_subgr_200, RND (§4.3)",
 		Header: []string{"vcs", "lat@0.06", "lat@0.30", "thr@0.30"},
 	}
 	spec := MustNet("sn_subgr_200")
-	for _, vcs := range []int{2, 3, 4} {
-		low := MustRun(RunSpec{Spec: spec, VCs: vcs, Pattern: "RND", Rate: 0.06, Opts: o})
-		high := MustRun(RunSpec{Spec: spec, VCs: vcs, Pattern: "RND", Rate: 0.30, Opts: o})
+	vcCounts := []int{2, 3, 4}
+	var points []RunSpec
+	for _, vcs := range vcCounts {
+		points = append(points,
+			RunSpec{Spec: spec, VCs: vcs, Pattern: "RND", Rate: 0.06, Opts: o},
+			RunSpec{Spec: spec, VCs: vcs, Pattern: "RND", Rate: 0.30, Opts: o})
+	}
+	results := MustRunBatch(ctx, o, points)
+	for i, vcs := range vcCounts {
+		low, high := results[2*i], results[2*i+1]
 		t.AddRowF(vcs, fmtLat(low), fmtLat(high), high.Throughput)
 	}
 	return []*stats.Table{t}
@@ -60,7 +72,7 @@ func AblVCs(o Options) []*stats.Table {
 // AblSmartH sweeps the SMART hop factor: H=1 (no SMART) up to H=11, the
 // §3.2.2 range for 1 GHz at 45 nm, on the long-wire sn_basic layout where
 // SMART matters most.
-func AblSmartH(o Options) []*stats.Table {
+func AblSmartH(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:     "abl-smarth",
 		Title:  "SMART hop factor sweep, sn_basic_1296, RND load 0.06 (§3.2.2)",
@@ -71,9 +83,13 @@ func AblSmartH(o Options) []*stats.Table {
 	if o.Quick {
 		hs = []int{1, 9}
 	}
+	var points []RunSpec
 	for _, h := range hs {
-		res := MustRun(RunSpec{Spec: spec, Pattern: "RND", Rate: 0.06, H: h, Opts: o})
-		t.AddRowF(h, res.AvgLatency)
+		points = append(points, RunSpec{Spec: spec, Pattern: "RND", Rate: 0.06, H: h, Opts: o})
+	}
+	results := MustRunBatch(ctx, o, points)
+	for i, h := range hs {
+		t.AddRowF(h, results[i].AvgLatency)
 	}
 	return []*stats.Table{t}
 }

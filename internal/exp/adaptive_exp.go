@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -30,11 +31,19 @@ func fig20Variants() []adaptiveVariant {
 }
 
 // Fig20 runs the adaptive-routing comparison for uniform random and
-// asymmetric traffic.
-func Fig20(o Options) []*stats.Table {
+// asymmetric traffic. Each pattern's loads x variants grid executes as one
+// parallel batch; policy instances are created per point (adaptive state is
+// per-run, never shared across workers).
+func Fig20(ctx context.Context, o Options) []*stats.Table {
 	var out []*stats.Table
 	variants := fig20Variants()
 	loads := o.Loads()
+	nets := map[string]NetSpec{}
+	for _, v := range variants {
+		if _, ok := nets[v.spec]; !ok {
+			nets[v.spec] = MustNet(v.spec)
+		}
+	}
 	for _, pat := range []string{"RND", "ASYM"} {
 		t := &stats.Table{
 			ID:     fmt.Sprintf("fig20-%s", pat),
@@ -44,18 +53,24 @@ func Fig20(o Options) []*stats.Table {
 		for _, v := range variants {
 			t.Header = append(t.Header, v.label)
 		}
+		var points []RunSpec
 		for _, load := range loads {
-			row := []interface{}{fmtLoad(load)}
 			for _, v := range variants {
-				res := MustRun(RunSpec{
-					Spec:    MustNet(v.spec),
+				points = append(points, RunSpec{
+					Spec:    nets[v.spec],
 					VCs:     4,
 					Pattern: pat,
 					Rate:    load,
 					Policy:  v.policy(),
 					Opts:    o,
 				})
-				row = append(row, fmtLat(res))
+			}
+		}
+		results := MustRunBatch(ctx, o, points)
+		for li, load := range loads {
+			row := []interface{}{fmtLoad(load)}
+			for vi := range variants {
+				row = append(row, fmtLat(results[li*len(variants)+vi]))
 			}
 			t.AddRowF(row...)
 		}

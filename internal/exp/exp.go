@@ -24,6 +24,12 @@ type Options struct {
 	Quick bool
 	Seed  int64
 
+	// Jobs is the simulation worker count for batched experiment points:
+	// 1 forces serial execution, 0 (the default) uses every CPU. Results
+	// are identical at any job count — each point's seed is fixed up
+	// front — so Jobs trades wall-clock only.
+	Jobs int
+
 	WarmupCycles  int64
 	MeasureCycles int64
 	DrainCycles   int64
@@ -123,8 +129,12 @@ func schemeName(s sim.BufferScheme) string {
 	}
 }
 
-// Run executes one simulation point through the slimnoc facade.
-func Run(rs RunSpec) (sim.Result, error) {
+// facade converts an experiment point into its slimnoc spec plus the runner
+// options covering what the declarative spec cannot express (the prebuilt
+// network, custom sources, adaptive policies). Both the serial and the
+// batched execution paths go through this one conversion, which is what
+// keeps their per-point results byte-identical.
+func (rs RunSpec) facade() (slimnoc.RunSpec, []slimnoc.Option) {
 	spec := slimnoc.RunSpec{
 		Name: rs.Spec.Name,
 		Routing: slimnoc.RoutingSpec{
@@ -154,7 +164,14 @@ func Run(rs RunSpec) (sim.Result, error) {
 	if rs.BufCap != nil {
 		opts = append(opts, slimnoc.WithEdgeBufferSizing(rs.BufCap))
 	}
-	res, err := slimnoc.Run(context.Background(), spec, opts...)
+	return spec, opts
+}
+
+// Run executes one simulation point through the slimnoc facade. Cancelling
+// the context stops the run at its next poll point.
+func Run(ctx context.Context, rs RunSpec) (sim.Result, error) {
+	spec, opts := rs.facade()
+	res, err := slimnoc.Run(ctx, spec, opts...)
 	if err != nil {
 		return sim.Result{}, err
 	}
@@ -162,8 +179,48 @@ func Run(rs RunSpec) (sim.Result, error) {
 }
 
 // MustRun is Run with panic-on-error for experiment bodies.
-func MustRun(rs RunSpec) sim.Result {
-	res, err := Run(rs)
+func MustRun(ctx context.Context, rs RunSpec) sim.Result {
+	res, err := Run(ctx, rs)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunBatch executes the points through a slimnoc.Campaign with o.Jobs
+// workers and returns the raw results in submission order. Experiment grids
+// submit their whole sweep here instead of looping over Run, so the suite
+// parallelizes across cores while every point keeps the exact seed (and
+// therefore metrics) of the serial path. The first point error aborts with
+// that error; a cancelled context returns ctx's error.
+func RunBatch(ctx context.Context, o Options, points []RunSpec) ([]sim.Result, error) {
+	specs := make([]slimnoc.RunSpec, len(points))
+	opts := make([][]slimnoc.Option, len(points))
+	for i, rs := range points {
+		specs[i], opts[i] = rs.facade()
+	}
+	results, err := slimnoc.RunCampaign(ctx, specs,
+		slimnoc.WithJobs(o.Jobs),
+		slimnoc.WithPointOptions(func(i int, _ slimnoc.RunSpec) []slimnoc.Option {
+			return opts[i]
+		}),
+	)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sim.Result, len(results))
+	for i, p := range results {
+		if p.Err != nil {
+			return nil, fmt.Errorf("exp: point %d (%s): %w", i, p.Spec.Name, p.Err)
+		}
+		out[i] = p.Result.Raw
+	}
+	return out, nil
+}
+
+// MustRunBatch is RunBatch with panic-on-error for experiment bodies.
+func MustRunBatch(ctx context.Context, o Options, points []RunSpec) []sim.Result {
+	res, err := RunBatch(ctx, o, points)
 	if err != nil {
 		panic(err)
 	}

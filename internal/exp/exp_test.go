@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 )
+
+func ctx() context.Context { return context.Background() }
 
 func quick() Options { return Options{Quick: true, Seed: 1} }
 
@@ -68,7 +71,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestTable2Experiment(t *testing.T) {
-	tables := Table2(quick())
+	tables := Table2(ctx(), quick())
 	if len(tables) != 1 {
 		t.Fatal("Table2 should emit one table")
 	}
@@ -78,7 +81,7 @@ func TestTable2Experiment(t *testing.T) {
 }
 
 func TestTable3Experiment(t *testing.T) {
-	tables := Table3(quick())
+	tables := Table3(ctx(), quick())
 	if len(tables) != 6 {
 		t.Fatalf("Table3 should emit 6 tables (add/mul/neg for F9 and F8), got %d", len(tables))
 	}
@@ -89,7 +92,7 @@ func TestTable3Experiment(t *testing.T) {
 }
 
 func TestTable4Experiment(t *testing.T) {
-	tbl := Table4(quick())[0]
+	tbl := Table4(ctx(), quick())[0]
 	if len(tbl.Rows) != 18 {
 		t.Errorf("Table 4 has %d rows, want 18", len(tbl.Rows))
 	}
@@ -104,7 +107,7 @@ func TestTable4Experiment(t *testing.T) {
 }
 
 func TestFig5Experiment(t *testing.T) {
-	tables := Fig5(quick())
+	tables := Fig5(ctx(), quick())
 	if len(tables) != 4 {
 		t.Fatalf("Fig5 should emit 4 tables, got %d", len(tables))
 	}
@@ -126,7 +129,7 @@ func TestFig5Experiment(t *testing.T) {
 }
 
 func TestFig6Experiment(t *testing.T) {
-	tables := Fig6(quick())
+	tables := Fig6(ctx(), quick())
 	if len(tables) != 3 {
 		t.Fatalf("Fig6 should emit 3 tables, got %d", len(tables))
 	}
@@ -146,7 +149,7 @@ func TestFig6Experiment(t *testing.T) {
 }
 
 func TestFig3Experiment(t *testing.T) {
-	tables := Fig3(quick())
+	tables := Fig3(ctx(), quick())
 	if len(tables) != 3 {
 		t.Fatalf("Fig3 should emit 3 tables, got %d", len(tables))
 	}
@@ -171,7 +174,7 @@ func TestFig10aExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping layout sweep in short mode")
 	}
-	tables := Fig10a(quick())
+	tables := Fig10a(ctx(), quick())
 	if len(tables) != 3 {
 		t.Fatalf("Fig10a should emit 3 tables, got %d", len(tables))
 	}
@@ -202,7 +205,7 @@ func TestFig12Experiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping small-network SMART sweep in short mode")
 	}
-	tables := Fig12(quick())
+	tables := Fig12(ctx(), quick())
 	if len(tables) != 4 {
 		t.Fatalf("Fig12 should emit 4 tables, got %d", len(tables))
 	}
@@ -223,7 +226,7 @@ func TestFig12Experiment(t *testing.T) {
 }
 
 func TestFig15Experiment(t *testing.T) {
-	tables := Fig15(quick())
+	tables := Fig15(ctx(), quick())
 	if len(tables) != 3 {
 		t.Fatal("Fig15 should emit 3 tables")
 	}
@@ -244,7 +247,7 @@ func TestFig15Experiment(t *testing.T) {
 }
 
 func TestSec55Experiment(t *testing.T) {
-	tbl := Sec55Clos(quick())[0]
+	tbl := Sec55Clos(ctx(), quick())[0]
 	if len(tbl.Rows) != 2 {
 		t.Fatal("expected rows for N=200 and N=1296")
 	}
@@ -257,7 +260,7 @@ func TestSec55Experiment(t *testing.T) {
 }
 
 func TestRunRejectsBadPattern(t *testing.T) {
-	if _, err := Run(RunSpec{Spec: MustNet("cm3"), Pattern: "XXX", Rate: 0.1, Opts: quick()}); err == nil {
+	if _, err := Run(ctx(), RunSpec{Spec: MustNet("cm3"), Pattern: "XXX", Rate: 0.1, Opts: quick()}); err == nil {
 		t.Error("unknown pattern should fail")
 	}
 }
@@ -275,7 +278,7 @@ func TestOptionsScaling(t *testing.T) {
 }
 
 func TestSensCycleTimeExperiment(t *testing.T) {
-	tbl := SensCycleTime(quick())[0]
+	tbl := SensCycleTime(ctx(), quick())[0]
 	if len(tbl.Rows) != 5 {
 		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
 	}
@@ -290,7 +293,7 @@ func TestSensCycleTimeExperiment(t *testing.T) {
 }
 
 func TestResilienceExperiment(t *testing.T) {
-	tbl := Resilience(quick())[0]
+	tbl := Resilience(ctx(), quick())[0]
 	// Row order: frac x {sn, fbf4, t2d4}. At 0% everything is connected.
 	for i := 0; i < 3; i++ {
 		conn, _ := strconv.ParseFloat(tbl.Rows[i][2], 64)
@@ -315,7 +318,7 @@ func TestResilienceExperiment(t *testing.T) {
 }
 
 func TestSensConcentrationExperiment(t *testing.T) {
-	tbl := SensConcentration(quick())[0]
+	tbl := SensConcentration(ctx(), quick())[0]
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("quick mode rows = %d, want 3", len(tbl.Rows))
 	}
@@ -332,7 +335,7 @@ func TestAblCBSizeExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping central-buffer ablation in short mode")
 	}
-	tables := AblCBSize(quick())
+	tables := AblCBSize(ctx(), quick())
 	if len(tables) != 2 {
 		t.Fatalf("want 2 tables, got %d", len(tables))
 	}
@@ -342,14 +345,14 @@ func TestAblCBSizeExperiment(t *testing.T) {
 }
 
 func TestAblVCsExperiment(t *testing.T) {
-	tbl := AblVCs(quick())[0]
+	tbl := AblVCs(ctx(), quick())[0]
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("want 3 VC rows, got %d", len(tbl.Rows))
 	}
 }
 
 func TestAblSmartHExperiment(t *testing.T) {
-	tbl := AblSmartH(quick())[0]
+	tbl := AblSmartH(ctx(), quick())[0]
 	// H=9 must not be slower than H=1 on the long-wire basic layout.
 	h1, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
 	h9, _ := strconv.ParseFloat(tbl.Rows[1][1], 64)

@@ -4,6 +4,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -12,7 +13,7 @@ import (
 )
 
 // Table2 reproduces Table 2: every Slim NoC configuration with N <= 1300.
-func Table2(o Options) []*stats.Table {
+func Table2(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:    "tab2",
 		Title: "Slim NoC configurations with N <= 1300 (Table 2)",
@@ -31,7 +32,7 @@ func Table2(o Options) []*stats.Table {
 }
 
 // Table3 reproduces Table 3: the hand-built operation tables of F8 and F9.
-func Table3(o Options) []*stats.Table {
+func Table3(ctx context.Context, o Options) []*stats.Table {
 	var out []*stats.Table
 	for _, q := range []int{9, 8} {
 		f, err := gf.New(q)
@@ -81,7 +82,7 @@ func headerFor(f *gf.Field) []string {
 
 // Table4 reproduces Table 4: the compared configurations for both size
 // classes.
-func Table4(o Options) []*stats.Table {
+func Table4(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:     "tab4",
 		Title:  "Considered configurations (Table 4)",
@@ -103,7 +104,7 @@ func Table4(o Options) []*stats.Table {
 // Fig5 reproduces Fig. 5: average wire length M, total per-router buffer
 // size without and with SMART, and the maximum wire crossing count versus
 // the Eq. 3 bound, for every layout across network sizes.
-func Fig5(o Options) []*stats.Table {
+func Fig5(ctx context.Context, o Options) []*stats.Table {
 	qs := []int{3, 5, 7, 9, 11, 13}
 	if o.Quick {
 		qs = []int{3, 5, 9}
@@ -168,7 +169,7 @@ func Fig5(o Options) []*stats.Table {
 
 // Fig6 reproduces Fig. 6: the distribution of link Manhattan distances for
 // the group and subgroup layouts at N in {200, 1024, 1296}.
-func Fig6(o Options) []*stats.Table {
+func Fig6(ctx context.Context, o Options) []*stats.Table {
 	var out []*stats.Table
 	for _, n := range []int{200, 1024, 1296} {
 		params, err := core.FromNetworkSize(n)

@@ -1,18 +1,23 @@
 // Simulation-based performance experiments: Fig. 1a, Fig. 10a, Fig. 11 and
-// Figs. 12-14.
+// Figs. 12-14. Every figure is a load x network grid; the grids are
+// expanded up front and submitted as one batch so the points run in
+// parallel across cores (RunBatch), with results re-assembled into the
+// paper's table shapes afterwards.
 
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
-// latencySweep runs one latency-vs-load series per network.
-func latencySweep(id, title string, names []string, pattern string, smart bool,
-	vcs int, o Options) *stats.Table {
+// latencySweep runs one latency-vs-load series per network. All
+// loads x networks points execute as a single parallel batch.
+func latencySweep(ctx context.Context, id, title string, names []string,
+	pattern string, smart bool, vcs int, o Options) *stats.Table {
 	t := &stats.Table{
 		ID:     id,
 		Title:  title,
@@ -22,14 +27,21 @@ func latencySweep(id, title string, names []string, pattern string, smart bool,
 	for i, n := range names {
 		specs[i] = MustNet(n)
 	}
-	for _, load := range o.Loads() {
-		row := []interface{}{fmtLoad(load)}
+	loads := o.Loads()
+	var points []RunSpec
+	for _, load := range loads {
 		for _, spec := range specs {
-			res := MustRun(RunSpec{
+			points = append(points, RunSpec{
 				Spec: spec, VCs: vcs, Pattern: pattern, Rate: load,
 				SMART: smart, Opts: o,
 			})
-			row = append(row, fmtLat(res))
+		}
+	}
+	results := MustRunBatch(ctx, o, points)
+	for li, load := range loads {
+		row := []interface{}{fmtLoad(load)}
+		for ni := range specs {
+			row = append(row, fmtLat(results[li*len(specs)+ni]))
 		}
 		t.AddRowF(row...)
 	}
@@ -38,8 +50,8 @@ func latencySweep(id, title string, names []string, pattern string, smart bool,
 
 // Fig1a reproduces Fig. 1a: latency under an adversarial pattern at
 // N = 1296 for SN versus mesh, torus and FBF.
-func Fig1a(o Options) []*stats.Table {
-	return []*stats.Table{latencySweep(
+func Fig1a(ctx context.Context, o Options) []*stats.Table {
+	return []*stats.Table{latencySweep(ctx,
 		"fig1a",
 		"Average packet latency [cycles], ADV1, N=1296, SMART (Fig. 1a)",
 		[]string{"cm9", "t2d9", "fbf9", "sn_gr_1296"},
@@ -48,10 +60,10 @@ func Fig1a(o Options) []*stats.Table {
 
 // Fig10a reproduces Fig. 10a: SN layout comparison on synthetic traffic at
 // N = 200, no SMART.
-func Fig10a(o Options) []*stats.Table {
+func Fig10a(ctx context.Context, o Options) []*stats.Table {
 	var out []*stats.Table
 	for _, pat := range []string{"REV", "RND", "SHF"} {
-		out = append(out, latencySweep(
+		out = append(out, latencySweep(ctx,
 			fmt.Sprintf("fig10a-%s", pat),
 			fmt.Sprintf("Latency per SN layout, %s, N=200, no SMART (Fig. 10a)", pat),
 			[]string{"sn_basic_200", "sn_rand_200", "sn_gr_200", "sn_subgr_200"},
@@ -85,7 +97,7 @@ func bufVariants(smart bool) []bufVariant {
 
 // Fig11 reproduces Fig. 11: the impact of buffering strategies on SN
 // latency, for N in {200, 1296}, with and without SMART links.
-func Fig11(o Options) []*stats.Table {
+func Fig11(ctx context.Context, o Options) []*stats.Table {
 	var out []*stats.Table
 	sizes := []struct {
 		n    int
@@ -107,15 +119,22 @@ func Fig11(o Options) []*stats.Table {
 				t.Header = append(t.Header, v.name)
 			}
 			spec := MustNet(sz.spec)
-			for _, load := range o.Loads() {
-				row := []interface{}{fmtLoad(load)}
+			loads := o.Loads()
+			var points []RunSpec
+			for _, load := range loads {
 				for _, v := range variants {
-					res := MustRun(RunSpec{
+					points = append(points, RunSpec{
 						Spec: spec, VCs: 2, Scheme: v.scheme, BufCap: v.bufCap,
 						CBCap: v.cbCap, SMART: smart, Pattern: "RND", Rate: load,
 						Opts: o,
 					})
-					row = append(row, fmtLat(res))
+				}
+			}
+			results := MustRunBatch(ctx, o, points)
+			for li, load := range loads {
+				row := []interface{}{fmtLoad(load)}
+				for vi := range variants {
+					row = append(row, fmtLat(results[li*len(variants)+vi]))
 				}
 				t.AddRowF(row...)
 			}
@@ -127,10 +146,10 @@ func Fig11(o Options) []*stats.Table {
 
 // Fig12 reproduces Fig. 12: synthetic traffic with SMART links for the small
 // networks (N in {192, 200}).
-func Fig12(o Options) []*stats.Table {
+func Fig12(ctx context.Context, o Options) []*stats.Table {
 	var out []*stats.Table
 	for _, pat := range []string{"ADV1", "REV", "RND", "SHF"} {
-		out = append(out, latencySweep(
+		out = append(out, latencySweep(ctx,
 			fmt.Sprintf("fig12-%s", pat),
 			fmt.Sprintf("Latency, %s, N in {192,200}, SMART (Fig. 12)", pat),
 			[]string{"cm3", "t2d3", "pfbf3", "pfbf4", "sn_subgr_200", "fbf3"},
@@ -140,10 +159,10 @@ func Fig12(o Options) []*stats.Table {
 }
 
 // Fig13 reproduces Fig. 13: synthetic traffic with SMART links at N = 1296.
-func Fig13(o Options) []*stats.Table {
+func Fig13(ctx context.Context, o Options) []*stats.Table {
 	var out []*stats.Table
 	for _, pat := range []string{"ADV1", "REV", "RND", "SHF"} {
-		out = append(out, latencySweep(
+		out = append(out, latencySweep(ctx,
 			fmt.Sprintf("fig13-%s", pat),
 			fmt.Sprintf("Latency, %s, N=1296, SMART (Fig. 13)", pat),
 			[]string{"cm9", "t2d9", "pfbf9", "sn_gr_1296", "fbf9"},
@@ -153,10 +172,10 @@ func Fig13(o Options) []*stats.Table {
 }
 
 // Fig14 reproduces Fig. 14: the small networks without SMART links.
-func Fig14(o Options) []*stats.Table {
+func Fig14(ctx context.Context, o Options) []*stats.Table {
 	var out []*stats.Table
 	for _, pat := range []string{"ADV1", "REV", "RND", "SHF"} {
-		out = append(out, latencySweep(
+		out = append(out, latencySweep(ctx,
 			fmt.Sprintf("fig14-%s", pat),
 			fmt.Sprintf("Latency, %s, N in {192,200}, no SMART (Fig. 14)", pat),
 			[]string{"cm3", "t2d3", "pfbf3", "sn_subgr_200", "fbf3"},
@@ -166,8 +185,8 @@ func Fig14(o Options) []*stats.Table {
 }
 
 // Fig19Latency reproduces the latency panel of Fig. 19 (N = 54, SMART).
-func Fig19Latency(o Options) []*stats.Table {
-	return []*stats.Table{latencySweep(
+func Fig19Latency(ctx context.Context, o Options) []*stats.Table {
+	return []*stats.Table{latencySweep(ctx,
 		"fig19a",
 		"Latency, RND, N=54, SMART (Fig. 19a)",
 		[]string{"fbf54", "pfbf54", "sn_subgr_54", "t2d54"},

@@ -4,6 +4,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -38,7 +39,7 @@ func dfSpec() *topo.Network {
 // Fig3 reproduces Fig. 3: Slim Fly and Dragonfly used directly as NoCs.
 // 3a: average wire length versus core count; 3b/3c: area and static power
 // per node at ~200 cores.
-func Fig3(o Options) []*stats.Table {
+func Fig3(ctx context.Context, o Options) []*stats.Table {
 	wire := &stats.Table{
 		ID:     "fig3a",
 		Title:  "Average wire length [hops] vs core count (Fig. 3a)",
@@ -134,8 +135,8 @@ func dfWireLen(n *topo.Network) float64 { return n.AvgWireLength() }
 
 // areaPowerTable renders per-node area / static / dynamic for a set of
 // networks under one tech node, running a RND simulation for activity.
-func areaPowerTable(idPrefix, title string, names []string, smart bool,
-	t power.Tech, o Options) []*stats.Table {
+func areaPowerTable(ctx context.Context, idPrefix, title string, names []string,
+	smart bool, t power.Tech, o Options) []*stats.Table {
 	area := &stats.Table{
 		ID:     idPrefix + "-area",
 		Title:  title + " — area/node [cm^2]",
@@ -151,16 +152,22 @@ func areaPowerTable(idPrefix, title string, names []string, smart bool,
 		Title:  title + " — dynamic power/node [W] (RND, load 0.24)",
 		Header: []string{"network", "buffers", "crossbars", "wires", "total"},
 	}
-	for _, name := range names {
-		spec := MustNet(name)
-		n := spec.Net
+	specs := make([]NetSpec, len(names))
+	points := make([]RunSpec, len(names))
+	for i, name := range names {
+		specs[i] = MustNet(name)
+		points[i] = RunSpec{Spec: specs[i], Pattern: "RND", Rate: 0.24, SMART: smart, Opts: o}
+	}
+	results := MustRunBatch(ctx, o, points)
+	for i, name := range names {
+		n := specs[i].Net
 		buf := bufferFor(n, smart)
 		a := power.Area(n, buf, 2, t).PerNodeCM2(n.N())
 		area.AddRowF(name, a.IRouters, a.ARouters, a.RRWires, a.RNWires, a.Total())
 		s := power.Static(n, buf, 2, t)
 		nn := float64(n.N())
 		stat.AddRowF(name, s.Routers/nn, s.Wires/nn, s.Total()/nn)
-		res := MustRun(RunSpec{Spec: spec, Pattern: "RND", Rate: 0.24, SMART: smart, Opts: o})
+		res := results[i]
 		act := power.ActivityOf(n, res.Throughput, res.AvgHops, t, flitBits)
 		d := power.Dynamic(act, t)
 		dyn.AddRowF(name, d.Buffers/nn, d.Crossbars/nn, d.Wires/nn, d.Total()/nn)
@@ -170,7 +177,7 @@ func areaPowerTable(idPrefix, title string, names []string, smart bool,
 
 // Fig15 reproduces Fig. 15: area per SN layout, and area + static power for
 // the N=200 networks, no SMART.
-func Fig15(o Options) []*stats.Table {
+func Fig15(ctx context.Context, o Options) []*stats.Table {
 	t45 := power.Tech45()
 	layouts := &stats.Table{
 		ID:     "fig15a",
@@ -204,31 +211,31 @@ func Fig15(o Options) []*stats.Table {
 
 // Fig16 reproduces Fig. 16: per-node area/static/dynamic with SMART for the
 // small networks, at 45 and 22 nm.
-func Fig16(o Options) []*stats.Table {
+func Fig16(ctx context.Context, o Options) []*stats.Table {
 	names := []string{"fbf3", "fbf4", "pfbf3", "sn_subgr_200", "t2d4", "cm4"}
 	var out []*stats.Table
-	out = append(out, areaPowerTable("fig16-45nm", "N in {192,200}, SMART, 45nm (Fig. 16)",
+	out = append(out, areaPowerTable(ctx, "fig16-45nm", "N in {192,200}, SMART, 45nm (Fig. 16)",
 		names, true, power.Tech45(), o)...)
-	out = append(out, areaPowerTable("fig16-22nm", "N in {192,200}, SMART, 22nm (Fig. 16)",
+	out = append(out, areaPowerTable(ctx, "fig16-22nm", "N in {192,200}, SMART, 22nm (Fig. 16)",
 		names, true, power.Tech22(), o)...)
 	return out
 }
 
 // Fig17 reproduces Fig. 17: the same analysis at N = 1296.
-func Fig17(o Options) []*stats.Table {
+func Fig17(ctx context.Context, o Options) []*stats.Table {
 	names := []string{"fbf8", "fbf9", "pfbf9", "sn_gr_1296", "t2d9", "cm9"}
 	var out []*stats.Table
-	out = append(out, areaPowerTable("fig17-45nm", "N=1296, SMART, 45nm (Fig. 17)",
+	out = append(out, areaPowerTable(ctx, "fig17-45nm", "N=1296, SMART, 45nm (Fig. 17)",
 		names, true, power.Tech45(), o)...)
-	out = append(out, areaPowerTable("fig17-22nm", "N=1296, SMART, 22nm (Fig. 17)",
+	out = append(out, areaPowerTable(ctx, "fig17-22nm", "N=1296, SMART, 22nm (Fig. 17)",
 		names, true, power.Tech22(), o)...)
 	return out
 }
 
 // Fig19Power reproduces Fig. 19b/c: area and dynamic power per node at
 // N = 54 (45 nm, SMART).
-func Fig19Power(o Options) []*stats.Table {
-	return areaPowerTable("fig19bc", "N=54, SMART, 45nm (Fig. 19b/c)",
+func Fig19Power(ctx context.Context, o Options) []*stats.Table {
+	return areaPowerTable(ctx, "fig19bc", "N=54, SMART, 45nm (Fig. 19b/c)",
 		[]string{"sn_subgr_54", "fbf54", "pfbf54", "t2d54"}, true, power.Tech45(), o)
 }
 
@@ -240,14 +247,23 @@ type tpResult struct {
 	hops       float64
 }
 
-// saturatingRun drives each network at the paper's high comparison load
+// saturatingRuns drives each network at the paper's high comparison load
 // (0.24 flits/node/cycle, past the low-radix saturation points but below
 // the high-radix ones) and records the accepted throughput — the "flits
-// delivered in a cycle" of §5.4.
-func saturatingRun(name string, o Options) tpResult {
-	spec := MustNet(name)
-	res := MustRun(RunSpec{Spec: spec, Pattern: "RND", Rate: 0.24, SMART: true, Opts: o})
-	return tpResult{spec: spec, throughput: res.Throughput, hops: res.AvgHops}
+// delivered in a cycle" of §5.4 — for all names as one parallel batch.
+func saturatingRuns(ctx context.Context, names []string, o Options) map[string]tpResult {
+	specs := make([]NetSpec, len(names))
+	points := make([]RunSpec, len(names))
+	for i, name := range names {
+		specs[i] = MustNet(name)
+		points[i] = RunSpec{Spec: specs[i], Pattern: "RND", Rate: 0.24, SMART: true, Opts: o}
+	}
+	results := MustRunBatch(ctx, o, points)
+	out := make(map[string]tpResult, len(names))
+	for i, name := range names {
+		out[name] = tpResult{spec: specs[i], throughput: results[i].Throughput, hops: results[i].AvgHops}
+	}
+	return out
 }
 
 // throughputPerPower computes the §5.4 metric from a cached run.
@@ -262,14 +278,16 @@ func (r tpResult) at(t power.Tech) float64 {
 
 // Fig1bc reproduces Fig. 1b/c: throughput per power at N = 1296 for 45 and
 // 22 nm.
-func Fig1bc(o Options) []*stats.Table {
+func Fig1bc(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:     "fig1bc",
 		Title:  "Throughput/Power [flits/J], RND at saturation, N=1296 (Fig. 1b/c)",
 		Header: []string{"network", "45nm", "22nm"},
 	}
-	for _, name := range []string{"sn_gr_1296", "fbf9", "t2d9", "cm9"} {
-		r := saturatingRun(name, o)
+	names := []string{"sn_gr_1296", "fbf9", "t2d9", "cm9"}
+	runs := saturatingRuns(ctx, names, o)
+	for _, name := range names {
+		r := runs[name]
 		t.AddRowF(name, r.at(power.Tech45()), r.at(power.Tech22()))
 	}
 	return []*stats.Table{t}
@@ -277,7 +295,7 @@ func Fig1bc(o Options) []*stats.Table {
 
 // Table5 reproduces Table 5: SN's relative throughput/power improvement over
 // each baseline, for both size classes and both technology nodes.
-func Table5(o Options) []*stats.Table {
+func Table5(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:     "tab5",
 		Title:  "SN throughput/power advantage (RND) (Table 5)",
@@ -290,20 +308,17 @@ func Table5(o Options) []*stats.Table {
 		{"sn_subgr_200", []string{"t2d4", "cm4", "pfbf3", "fbf3", "fbf4"}},
 		{"sn_gr_1296", []string{"t2d9", "cm9", "pfbf9", "fbf8", "fbf9"}},
 	}
-	cache := map[string]tpResult{}
-	get := func(name string) tpResult {
-		if r, ok := cache[name]; ok {
-			return r
-		}
-		r := saturatingRun(name, o)
-		cache[name] = r
-		return r
+	var names []string
+	for _, g := range groups {
+		names = append(names, g.sn)
+		names = append(names, g.bases...)
 	}
+	runs := saturatingRuns(ctx, names, o)
 	for _, tech := range []power.Tech{power.Tech45(), power.Tech22()} {
 		for _, g := range groups {
-			snTP := get(g.sn).at(tech)
+			snTP := runs[g.sn].at(tech)
 			for _, b := range g.bases {
-				bTP := get(b).at(tech)
+				bTP := runs[b].at(tech)
 				gain := 0.0
 				if bTP > 0 {
 					gain = (snTP/bTP - 1) * 100
@@ -317,7 +332,7 @@ func Table5(o Options) []*stats.Table {
 
 // Sec55Clos reproduces the §5.5 hierarchical-NoC comparison: SN's total area
 // versus a folded Clos at both size classes.
-func Sec55Clos(o Options) []*stats.Table {
+func Sec55Clos(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:     "sec55",
 		Title:  "SN vs folded Clos total area [cm^2] (§5.5)",

@@ -3,17 +3,21 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/stats"
 )
 
-// Experiment is one registered paper artifact.
+// Experiment is one registered paper artifact. Run honours its context:
+// cancellation (e.g. Ctrl-C in snexp) stops in-flight simulations at their
+// next poll point, surfacing as a panic wrapping ctx.Err() from the Must*
+// helpers inside experiment bodies.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) []*stats.Table
+	Run   func(context.Context, Options) []*stats.Table
 }
 
 // Registry returns all experiments keyed by ID.
@@ -53,8 +57,8 @@ func Registry() []Experiment {
 }
 
 // Fig19 combines the latency and area/power panels of Fig. 19.
-func Fig19(o Options) []*stats.Table {
-	return append(Fig19Latency(o), Fig19Power(o)...)
+func Fig19(ctx context.Context, o Options) []*stats.Table {
+	return append(Fig19Latency(ctx, o), Fig19Power(ctx, o)...)
 }
 
 // ByID finds one experiment.

@@ -1,11 +1,13 @@
 // Sensitivity and robustness analyses summarised in §5.5, plus the link-
 // failure resilience study motivated by §2.1's expander argument. These are
 // the "further analysis" experiments the paper reports as one-line
-// conclusions; here each gets a full table.
+// conclusions; here each gets a full table, with the simulation points of
+// each study batched through the campaign engine.
 
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -17,7 +19,7 @@ import (
 
 // SensSizes reproduces §5.5 "Other Network Sizes": SN versus torus and FBF
 // at N in {588, 686, 1024} — latency at a moderate RND load plus total area.
-func SensSizes(o Options) []*stats.Table {
+func SensSizes(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:    "sens-sizes",
 		Title: "Other network sizes (§5.5): RND latency and area",
@@ -37,17 +39,29 @@ func SensSizes(o Options) []*stats.Table {
 		cases = cases[2:]
 	}
 	t45 := power.Tech45()
+	type rowMeta struct {
+		n    int
+		name string
+		spec NetSpec
+	}
+	var rows []rowMeta
+	var points []RunSpec
 	for _, c := range cases {
 		for _, name := range c.specs {
 			spec, err := buildSensNet(name)
 			if err != nil {
 				panic(err)
 			}
-			res := MustRun(RunSpec{Spec: spec, Pattern: "RND", Rate: 0.06, SMART: true, Opts: o})
-			area := power.Area(spec.Net, bufferFor(spec.Net, true), 2, t45).Total()
-			t.AddRowF(c.n, name, spec.Net.NetworkRadix(), res.AvgLatency,
-				res.AvgLatency*spec.Net.CycleTimeNs, area)
+			rows = append(rows, rowMeta{c.n, name, spec})
+			points = append(points, RunSpec{Spec: spec, Pattern: "RND", Rate: 0.06, SMART: true, Opts: o})
 		}
+	}
+	results := MustRunBatch(ctx, o, points)
+	for i, r := range rows {
+		res := results[i]
+		area := power.Area(r.spec.Net, bufferFor(r.spec.Net, true), 2, t45).Total()
+		t.AddRowF(r.n, r.name, r.spec.Net.NetworkRadix(), res.AvgLatency,
+			res.AvgLatency*r.spec.Net.CycleTimeNs, area)
 	}
 	return []*stats.Table{t}
 }
@@ -86,7 +100,7 @@ func buildSensNet(name string) (NetSpec, error) {
 // SensConcentration reproduces §5.5 "Concentration": SN with q=8 across the
 // Table 2 concentration range (p = 4..8), showing the node-density vs
 // contention tradeoff (κ in §2.1).
-func SensConcentration(o Options) []*stats.Table {
+func SensConcentration(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:    "sens-conc",
 		Title: "Concentration sweep, SN q=8 (§5.5 / §2.1 κ tradeoff)",
@@ -97,6 +111,8 @@ func SensConcentration(o Options) []*stats.Table {
 	if o.Quick {
 		ps = []int{4, 6, 8}
 	}
+	var specs []NetSpec
+	var points []RunSpec
 	for _, p := range ps {
 		s, err := core.New(core.Params{Q: 8, P: p})
 		if err != nil {
@@ -108,7 +124,13 @@ func SensConcentration(o Options) []*stats.Table {
 		}
 		net.Name = fmt.Sprintf("sn_q8_p%d", p)
 		spec := NetSpec{Name: net.Name, Net: net, Kind: routing.Kind{Class: routing.ClassGeneric}}
-		res := MustRun(RunSpec{Spec: spec, Pattern: "RND", Rate: 0.24, SMART: true, Opts: o})
+		specs = append(specs, spec)
+		points = append(points, RunSpec{Spec: spec, Pattern: "RND", Rate: 0.24, SMART: true, Opts: o})
+	}
+	results := MustRunBatch(ctx, o, points)
+	for i, p := range ps {
+		res := results[i]
+		net := specs[i].Net
 		t.AddRowF(p, net.N(), float64(p)/6*100, res.AvgLatency, res.Throughput, res.Saturated)
 	}
 	return []*stats.Table{t}
@@ -117,17 +139,24 @@ func SensConcentration(o Options) []*stats.Table {
 // SensCycleTime reproduces the §5.1 cycle-time accounting: the same RND run
 // reported in cycles and in nanoseconds under per-topology versus uniform
 // clocks, showing which conclusions depend on the clock model.
-func SensCycleTime(o Options) []*stats.Table {
+func SensCycleTime(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:    "sens-cycle",
 		Title: "Cycle-time sensitivity: RND load 0.06, N in {192,200} (§5.1)",
 		Header: []string{"network", "latency_cycles", "cycle_ns",
 			"latency_ns", "latency_ns_uniform_0.5"},
 	}
-	for _, name := range []string{"cm3", "t2d3", "pfbf3", "sn_subgr_200", "fbf3"} {
-		spec := MustNet(name)
-		res := MustRun(RunSpec{Spec: spec, Pattern: "RND", Rate: 0.06, SMART: true, Opts: o})
-		cyc := spec.Net.CycleTimeNs
+	names := []string{"cm3", "t2d3", "pfbf3", "sn_subgr_200", "fbf3"}
+	specs := make([]NetSpec, len(names))
+	points := make([]RunSpec, len(names))
+	for i, name := range names {
+		specs[i] = MustNet(name)
+		points[i] = RunSpec{Spec: specs[i], Pattern: "RND", Rate: 0.06, SMART: true, Opts: o}
+	}
+	results := MustRunBatch(ctx, o, points)
+	for i, name := range names {
+		res := results[i]
+		cyc := specs[i].Net.CycleTimeNs
 		t.AddRowF(name, res.AvgLatency, cyc, res.AvgLatency*cyc, res.AvgLatency*0.5)
 	}
 	return []*stats.Table{t}
@@ -136,8 +165,10 @@ func SensCycleTime(o Options) []*stats.Table {
 // Resilience verifies the §2.1 expander claim: remove a growing fraction of
 // links and compare SN's connectivity, diameter and path-length inflation
 // against torus and FBF of the same size, plus simulated latency where the
-// damaged diameter stays small enough for deadlock-free ascending VCs.
-func Resilience(o Options) []*stats.Table {
+// damaged diameter stays small enough for deadlock-free ascending VCs. The
+// structural analysis decides which points are simulable; those then run as
+// one batch.
+func Resilience(ctx context.Context, o Options) []*stats.Table {
 	t := &stats.Table{
 		ID:    "resil",
 		Title: "Link-failure resilience, N=200-class networks (§2.1 expander claim)",
@@ -149,33 +180,49 @@ func Resilience(o Options) []*stats.Table {
 		fracs = []float64{0, 0.10}
 	}
 	names := []string{"sn_subgr_200", "fbf4", "t2d4"}
+	type row struct {
+		frac      float64
+		name      string
+		conn, avg float64
+		diam      int
+		simPoint  int // index into points, -1 = not simulable
+	}
+	var rows []row
+	var points []RunSpec
 	for _, frac := range fracs {
 		for _, name := range names {
 			base := MustNet(name)
 			net := base.Net.RemoveRandomLinks(frac, o.Seed+11)
-			conn := net.Connectivity()
-			diam := net.Diameter()
-			avg := net.AvgShortestPath()
-			lat := "n/a"
+			r := row{frac: frac, name: name, conn: net.Connectivity(),
+				diam: net.Diameter(), avg: net.AvgShortestPath(), simPoint: -1}
 			// Simulate only when connected and the diameter admits
 			// deadlock-free ascending VCs with a sane VC count.
-			if diam > 0 && diam <= 6 {
-				vcs := diam
+			if r.diam > 0 && r.diam <= 6 {
+				vcs := r.diam
 				if vcs < 2 {
 					vcs = 2
 				}
 				spec := NetSpec{Name: net.Name, Net: net,
 					Kind: routing.Kind{Class: routing.ClassGeneric}}
-				res := MustRun(RunSpec{Spec: spec, VCs: vcs, Pattern: "RND",
-					Rate: 0.06, Opts: o})
-				if res.Saturated {
-					lat = "sat"
-				} else {
-					lat = fmt.Sprintf("%.1f", res.AvgLatency)
-				}
+				r.simPoint = len(points)
+				points = append(points, RunSpec{Spec: spec, VCs: vcs,
+					Pattern: "RND", Rate: 0.06, Opts: o})
 			}
-			t.AddRowF(fmt.Sprintf("%.0f", frac*100), name, conn, diam, avg, lat)
+			rows = append(rows, r)
 		}
+	}
+	results := MustRunBatch(ctx, o, points)
+	for _, r := range rows {
+		lat := "n/a"
+		if r.simPoint >= 0 {
+			res := results[r.simPoint]
+			if res.Saturated {
+				lat = "sat"
+			} else {
+				lat = fmt.Sprintf("%.1f", res.AvgLatency)
+			}
+		}
+		t.AddRowF(fmt.Sprintf("%.0f", r.frac*100), r.name, r.conn, r.diam, r.avg, lat)
 	}
 	return []*stats.Table{t}
 }

@@ -1,22 +1,17 @@
 // Trace-driven experiments: Fig. 10b (layout latency on PARSEC/SPLASH),
-// Fig. 18 (energy-delay product) and Table 6 (SMART latency gains).
+// Fig. 18 (energy-delay product) and Table 6 (SMART latency gains). Each
+// figure's benchmark x network grid runs as one parallel batch; every point
+// gets its own trace.Source instance (sources are stateful).
 
 package exp
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/power"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
-
-// runTrace executes one benchmark on one network and returns the result.
-func runTrace(spec NetSpec, b trace.Benchmark, smart bool, o Options) traceResult {
-	src := trace.NewSource(b, spec.Net.N())
-	res := MustRun(RunSpec{Spec: spec, Source: src, SMART: smart, Opts: o})
-	return traceResult{res.AvgLatency, res.Throughput, res.AvgHops}
-}
 
 type traceResult struct {
 	latency    float64
@@ -24,9 +19,24 @@ type traceResult struct {
 	hops       float64
 }
 
+// tracePoint builds one trace-driven run point with a fresh source.
+func tracePoint(spec NetSpec, b trace.Benchmark, smart bool, o Options) RunSpec {
+	return RunSpec{Spec: spec, Source: trace.NewSource(b, spec.Net.N()), SMART: smart, Opts: o}
+}
+
+// runTraceBatch executes trace points in parallel and unwraps the metrics.
+func runTraceBatch(ctx context.Context, o Options, points []RunSpec) []traceResult {
+	results := MustRunBatch(ctx, o, points)
+	out := make([]traceResult, len(results))
+	for i, r := range results {
+		out[i] = traceResult{r.AvgLatency, r.Throughput, r.AvgHops}
+	}
+	return out
+}
+
 // Fig10b reproduces Fig. 10b: average packet latency per SN layout on the
 // PARSEC/SPLASH workloads (N = 200, no SMART).
-func Fig10b(o Options) []*stats.Table {
+func Fig10b(ctx context.Context, o Options) []*stats.Table {
 	layouts := []string{"sn_basic_200", "sn_gr_200", "sn_subgr_200"}
 	t := &stats.Table{
 		ID:     "fig10b",
@@ -37,11 +47,19 @@ func Fig10b(o Options) []*stats.Table {
 	for i, l := range layouts {
 		specs[i] = MustNet(l)
 	}
+	benches := benchList(o)
+	var points []RunSpec
+	for _, b := range benches {
+		for _, spec := range specs {
+			points = append(points, tracePoint(spec, b, false, o))
+		}
+	}
+	results := runTraceBatch(ctx, o, points)
 	sums := make([][]float64, len(layouts))
-	for _, b := range benchList(o) {
+	for bi, b := range benches {
 		row := []interface{}{b.Name}
-		for i, spec := range specs {
-			r := runTrace(spec, b, false, o)
+		for i := range specs {
+			r := results[bi*len(specs)+i]
 			row = append(row, r.latency)
 			sums[i] = append(sums[i], r.latency)
 		}
@@ -67,7 +85,7 @@ func benchList(o Options) []trace.Benchmark {
 
 // Fig18 reproduces Fig. 18: the energy-delay product on PARSEC/SPLASH
 // normalised to FBF (N = 192/200, SMART).
-func Fig18(o Options) []*stats.Table {
+func Fig18(ctx context.Context, o Options) []*stats.Table {
 	names := []string{"fbf3", "pfbf3", "cm3", "sn_subgr_200"}
 	t := &stats.Table{
 		ID:     "fig18",
@@ -79,11 +97,19 @@ func Fig18(o Options) []*stats.Table {
 	for i, nm := range names {
 		specs[i] = MustNet(nm)
 	}
+	benches := benchList(o)
+	var points []RunSpec
+	for _, b := range benches {
+		for _, spec := range specs {
+			points = append(points, tracePoint(spec, b, true, o))
+		}
+	}
+	results := runTraceBatch(ctx, o, points)
 	ratios := make([][]float64, len(names))
-	for _, b := range benchList(o) {
+	for bi, b := range benches {
 		edps := make([]float64, len(names))
 		for i, spec := range specs {
-			r := runTrace(spec, b, true, o)
+			r := results[bi*len(specs)+i]
 			n := spec.Net
 			buf := bufferFor(n, true)
 			st := power.Static(n, buf, 2, t45)
@@ -112,19 +138,29 @@ func Fig18(o Options) []*stats.Table {
 
 // Table6 reproduces Table 6: the percentage decrease in average packet
 // latency due to SMART links, per benchmark and per topology (N = 192).
-func Table6(o Options) []*stats.Table {
+func Table6(ctx context.Context, o Options) []*stats.Table {
 	names := []string{"fbf3", "pfbf3", "cm3", "sn_subgr_200"}
 	t := &stats.Table{
 		ID:     "tab6",
 		Title:  "Latency decrease from SMART [%], PARSEC/SPLASH (Table 6)",
 		Header: append([]string{"network"}, benchNames(o)...),
 	}
+	benches := benchList(o)
+	// Points pair up: (no SMART, SMART) per network x benchmark.
+	var points []RunSpec
 	for _, nm := range names {
 		spec := MustNet(nm)
+		for _, b := range benches {
+			points = append(points, tracePoint(spec, b, false, o), tracePoint(spec, b, true, o))
+		}
+	}
+	results := runTraceBatch(ctx, o, points)
+	idx := 0
+	for _, nm := range names {
 		row := []interface{}{nm}
-		for _, b := range benchList(o) {
-			no := runTrace(spec, b, false, o)
-			yes := runTrace(spec, b, true, o)
+		for range benches {
+			no, yes := results[idx], results[idx+1]
+			idx += 2
 			gain := 0.0
 			if no.latency > 0 {
 				gain = (1 - yes.latency/no.latency) * 100
@@ -143,5 +179,3 @@ func benchNames(o Options) []string {
 	}
 	return out
 }
-
-var _ = fmt.Sprintf

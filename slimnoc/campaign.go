@@ -1,0 +1,347 @@
+package slimnoc
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/routing"
+)
+
+// PointResult is the outcome of one campaign point. A completed point has
+// Result set and Err nil; a failed point has Err set; a point cancelled
+// mid-run has both — the partial metrics accumulated up to cancellation
+// alongside an error wrapping ctx.Err() (mirroring Runner.Run). Points
+// never started before cancellation carry the context error and a nil
+// Result. Only Err == nil marks a complete, trustworthy result.
+type PointResult struct {
+	// Index is the point's position in the submitted spec slice; results
+	// stream in completion order and are re-sorted by Index on return.
+	Index  int     `json:"index"`
+	Spec   RunSpec `json:"spec"`
+	Result *Result `json:"result,omitempty"`
+	Err    error   `json:"-"`
+	// Error mirrors Err as text for serialized sinks.
+	Error string `json:"error,omitempty"`
+}
+
+// Sink consumes point results as they complete. Emit is always called from
+// one goroutine at a time (the campaign serializes it), in completion
+// order — which under parallelism is not index order; every emitted record
+// carries its Index for re-ordering downstream.
+type Sink interface {
+	Emit(PointResult) error
+}
+
+// Collector is an in-memory Sink that returns results sorted by index.
+type Collector struct {
+	mu     sync.Mutex
+	points []PointResult
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(p PointResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.points = append(c.points, p)
+	return nil
+}
+
+// Points returns the collected results sorted by point index.
+func (c *Collector) Points() []PointResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]PointResult(nil), c.points...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// jsonlSink streams one JSON object per completed point.
+type jsonlSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a Sink writing one JSON object per line to w: the
+// point index, its full spec, and its result or error. Lines appear in
+// completion order; sort by "index" to recover submission order.
+func NewJSONLSink(w io.Writer) Sink {
+	return &jsonlSink{enc: json.NewEncoder(w)}
+}
+
+func (s *jsonlSink) Emit(p PointResult) error {
+	return s.enc.Encode(p)
+}
+
+// csvSink streams one CSV row per completed point.
+type csvSink struct {
+	w         *csv.Writer
+	wroteHead bool
+}
+
+// CSVHeader is the column set emitted by NewCSVSink, exported so consumers
+// can parse sink output without hard-coding positions.
+var CSVHeader = []string{
+	"index", "name", "network", "pattern", "rate", "vcs", "scheme", "smart",
+	"seed", "avg_latency_cycles", "avg_latency_ns", "p99_latency_cycles",
+	"throughput", "offered_load", "avg_hops", "delivered", "generated",
+	"cycles", "saturated", "error",
+}
+
+// NewCSVSink returns a Sink writing one CSV row per completed point, with a
+// header row first. Rows appear in completion order; the index column
+// recovers submission order.
+func NewCSVSink(w io.Writer) Sink {
+	return &csvSink{w: csv.NewWriter(w)}
+}
+
+func (s *csvSink) Emit(p PointResult) error {
+	if !s.wroteHead {
+		if err := s.w.Write(CSVHeader); err != nil {
+			return err
+		}
+		s.wroteHead = true
+	}
+	netName := p.Spec.Network.Preset
+	var m Metrics
+	if p.Result != nil {
+		netName = p.Result.Network.Name
+		m = p.Result.Metrics
+	}
+	row := []string{
+		strconv.Itoa(p.Index), p.Spec.Name, netName,
+		p.Spec.Traffic.Pattern, formatFloat(p.Spec.Traffic.Rate),
+		strconv.Itoa(p.Spec.Routing.VCs), p.Spec.Buffering.Scheme,
+		strconv.FormatBool(p.Spec.SMART), strconv.FormatInt(p.Spec.Sim.Seed, 10),
+		formatFloat(m.AvgLatencyCycles), formatFloat(m.AvgLatencyNs),
+		formatFloat(m.P99LatencyCycles), formatFloat(m.Throughput),
+		formatFloat(m.OfferedLoad), formatFloat(m.AvgHops),
+		strconv.FormatInt(m.Delivered, 10), strconv.FormatInt(m.Generated, 10),
+		strconv.FormatInt(m.Cycles, 10), strconv.FormatBool(m.Saturated),
+		p.Error,
+	}
+	if err := s.w.Write(row); err != nil {
+		return err
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Campaign executes batches of RunSpecs on a worker pool, building each
+// distinct network once and sharing it read-only across workers. A Campaign
+// is reusable and safe for sequential reuse; one Run call executes at a
+// time per Campaign value.
+type Campaign struct {
+	jobs      int
+	sinks     []Sink
+	onPoint   func(PointResult)
+	pointOpts func(i int, spec RunSpec) []Option
+}
+
+// CampaignOption configures a Campaign.
+type CampaignOption func(*Campaign)
+
+// WithJobs sets the worker count: 1 executes serially, 0 (the default) uses
+// runtime.NumCPU(). Per-point metrics are independent of the job count —
+// every point's seed is fixed at expansion time — so parallelism changes
+// wall-clock only, never results.
+func WithJobs(n int) CampaignOption {
+	return func(c *Campaign) { c.jobs = n }
+}
+
+// WithSink attaches a result sink; repeatable. Sinks receive every executed
+// point in completion order, serialized by the campaign.
+func WithSink(s Sink) CampaignOption {
+	return func(c *Campaign) { c.sinks = append(c.sinks, s) }
+}
+
+// WithOnPoint streams each completed point to fn (progress bars, live
+// tables). Like sinks, fn is serialized and sees completion order.
+func WithOnPoint(fn func(PointResult)) CampaignOption {
+	return func(c *Campaign) { c.onPoint = fn }
+}
+
+// WithPointOptions supplies per-point Runner options that the declarative
+// spec cannot express (prebuilt networks, custom sources, adaptive
+// policies). The returned options are applied after the campaign's own
+// network-cache option, so a WithNetwork here overrides the cache. Options
+// must not share mutable state across points: fn is called concurrently
+// from worker goroutines.
+func WithPointOptions(fn func(i int, spec RunSpec) []Option) CampaignOption {
+	return func(c *Campaign) { c.pointOpts = fn }
+}
+
+// NewCampaign builds a campaign engine.
+func NewCampaign(opts ...CampaignOption) *Campaign {
+	c := &Campaign{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// netCacheEntry memoizes one network build.
+type netCacheEntry struct {
+	once sync.Once
+	net  *Network
+	kind routing.Kind
+	err  error
+}
+
+// netCache builds each distinct (expanded) NetworkSpec once per Run and
+// shares the resulting Network read-only across workers — sim.New and
+// Runner.Run never mutate a supplied network (see WithNetwork).
+type netCache struct {
+	mu      sync.Mutex
+	entries map[string]*netCacheEntry
+}
+
+// get returns the shared network for ns, building it at most once.
+func (nc *netCache) get(ns NetworkSpec) (*Network, routing.Kind, error) {
+	key, err := networkKey(ns)
+	if err != nil {
+		return nil, routing.Kind{}, err
+	}
+	nc.mu.Lock()
+	e, ok := nc.entries[key]
+	if !ok {
+		e = &netCacheEntry{}
+		nc.entries[key] = e
+	}
+	nc.mu.Unlock()
+	e.once.Do(func() {
+		e.net, e.kind, e.err = BuildNetwork(ns)
+	})
+	return e.net, e.kind, e.err
+}
+
+// networkKey canonicalizes a NetworkSpec: presets expand first so a preset
+// and its explicit equivalent share one cache entry.
+func networkKey(ns NetworkSpec) (string, error) {
+	expanded, err := ExpandNetwork(ns)
+	if err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(expanded)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// Run executes the points and returns one PointResult per input spec,
+// sorted by index. Individual point failures do not abort the batch; they
+// surface in their PointResult.Err. Cancelling the context stops dispatch,
+// cancels in-flight runs at their next poll point, and returns the partial
+// result set: executed points keep their results, never-started points
+// carry ctx's error. The returned error is ctx's error on cancellation and
+// nil otherwise.
+func (c *Campaign) Run(ctx context.Context, points []RunSpec) ([]PointResult, error) {
+	results := make([]PointResult, len(points))
+	for i, spec := range points {
+		results[i] = PointResult{Index: i, Spec: spec.Normalized()}
+	}
+	jobs := c.jobs
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	if jobs > len(points) {
+		jobs = len(points)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	cache := &netCache{entries: make(map[string]*netCacheEntry)}
+	idxCh := make(chan int)
+	var emitMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				p := &results[i]
+				p.Result, p.Err = c.runPoint(ctx, i, p.Spec, cache)
+				if p.Err != nil {
+					p.Error = p.Err.Error()
+				}
+				emitMu.Lock()
+				for _, s := range c.sinks {
+					if err := s.Emit(*p); err != nil && p.Err == nil {
+						p.Err = fmt.Errorf("slimnoc: sink: %w", err)
+						p.Error = p.Err.Error()
+					}
+				}
+				if c.onPoint != nil {
+					c.onPoint(*p)
+				}
+				emitMu.Unlock()
+			}
+		}()
+	}
+
+dispatch:
+	for i := range points {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Result == nil && results[i].Err == nil {
+				results[i].Err = err
+				results[i].Error = err.Error()
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// runPoint executes one spec with the shared-network cache plus any
+// per-point options.
+func (c *Campaign) runPoint(ctx context.Context, i int, spec RunSpec, cache *netCache) (*Result, error) {
+	net, kind, err := cache.get(spec.Network)
+	opts := make([]Option, 0, 4)
+	if err == nil {
+		opts = append(opts, WithNetwork(net, kind))
+	}
+	// A network the cache cannot build may still come from the point
+	// options (WithNetwork); defer the error until after they apply.
+	if c.pointOpts != nil {
+		opts = append(opts, c.pointOpts(i, spec)...)
+	}
+	r := NewRunner(spec, opts...)
+	if !r.haveNet && err != nil {
+		return nil, err
+	}
+	return r.Run(ctx)
+}
+
+// RunSweep expands the sweep and executes its points.
+func (c *Campaign) RunSweep(ctx context.Context, sweep SweepSpec) ([]PointResult, error) {
+	points, err := sweep.Points()
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx, points)
+}
+
+// RunCampaign is the package-level convenience: execute the specs on a
+// fresh campaign with the given options.
+func RunCampaign(ctx context.Context, points []RunSpec, opts ...CampaignOption) ([]PointResult, error) {
+	return NewCampaign(opts...).Run(ctx, points)
+}

@@ -1,0 +1,290 @@
+package slimnoc
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// campaignSweep returns a quick multi-point sweep exercising two networks,
+// two patterns and two loads with tiny cycle counts.
+func campaignSweep() SweepSpec {
+	return testSweep()
+}
+
+// runSweepPoints expands campaignSweep and executes it with the given jobs.
+func runSweepPoints(t *testing.T, jobs int, opts ...CampaignOption) []PointResult {
+	t.Helper()
+	points, err := campaignSweep().Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunCampaign(t.Context(), points, append(opts, WithJobs(jobs))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestCampaignParallelMatchesSerial is the core determinism contract: the
+// same sweep run serially and with jobs=NumCPU yields byte-identical
+// per-point metrics, because every point's seed is fixed at expansion time.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	serial := runSweepPoints(t, 1)
+	parallel := runSweepPoints(t, runtime.NumCPU())
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d points, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("point %d errors: serial %v, parallel %v", i, serial[i].Err, parallel[i].Err)
+		}
+		sm, err := json.Marshal(serial[i].Result.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm, err := json.Marshal(parallel[i].Result.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sm, pm) {
+			t.Errorf("point %d (%s): serial metrics %s != parallel %s",
+				i, serial[i].Spec.Name, sm, pm)
+		}
+	}
+}
+
+// TestCampaignResultsOrderedAndComplete checks every submitted point comes
+// back at its own index with its own spec.
+func TestCampaignResultsOrderedAndComplete(t *testing.T) {
+	points, err := campaignSweep().Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := runSweepPoints(t, 3)
+	if len(results) != len(points) {
+		t.Fatalf("%d results for %d points", len(results), len(points))
+	}
+	for i, p := range results {
+		if p.Index != i {
+			t.Errorf("result %d carries index %d", i, p.Index)
+		}
+		if p.Spec.Name != points[i].Name {
+			t.Errorf("result %d spec %q, want %q", i, p.Spec.Name, points[i].Name)
+		}
+		if p.Result == nil || p.Result.Metrics.Delivered == 0 {
+			t.Errorf("point %d delivered nothing", i)
+		}
+	}
+}
+
+// TestCampaignNetworkCacheSharing checks the engine builds each distinct
+// network spec exactly once per Run, however many points share it.
+func TestCampaignNetworkCacheSharing(t *testing.T) {
+	var builds atomic.Int32
+	RegisterTopology("cachecount", TopologyEntry{
+		Build: func(ns NetworkSpec) (*Network, Kind, error) {
+			builds.Add(1)
+			return topo.Mesh2D(3, 3, 2), Kind{Class: ClassMesh, RX: 3, RY: 3}, nil
+		},
+		Section: "test-only (campaign network cache)",
+		Example: NetworkSpec{Topology: "cachecount"},
+	})
+	var points []RunSpec
+	for i := 0; i < 6; i++ {
+		points = append(points, RunSpec{
+			Network: NetworkSpec{Topology: "cachecount"},
+			Traffic: TrafficSpec{Pattern: "rnd", Rate: 0.05},
+			Sim:     SimSpec{WarmupCycles: 100, MeasureCycles: 200, DrainCycles: 400, Seed: int64(i + 1)},
+		})
+	}
+	results, err := RunCampaign(t.Context(), points, WithJobs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range results {
+		if p.Err != nil {
+			t.Fatalf("point %d: %v", i, p.Err)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Errorf("network built %d times, want 1", n)
+	}
+}
+
+// TestCampaignPartialResultsOnCancel cancels mid-campaign and checks the
+// partial result set: executed points keep results, the rest carry the
+// context error, and Run reports cancellation.
+func TestCampaignPartialResultsOnCancel(t *testing.T) {
+	base := RunSpec{
+		Network: NetworkSpec{Preset: "t2d54"},
+		Traffic: TrafficSpec{Pattern: "rnd", Rate: 0.05},
+		// Long enough that the tail of the batch is still queued or
+		// in-flight when the first completion cancels.
+		Sim: SimSpec{WarmupCycles: 1000, MeasureCycles: 30000, DrainCycles: 30000, Seed: 2},
+	}
+	sweep := SweepSpec{
+		Name: "cancel",
+		Base: base,
+		Axes: SweepAxes{Loads: []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08}},
+	}
+	points, err := sweep.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	results, err := RunCampaign(ctx, points,
+		WithJobs(2),
+		WithOnPoint(func(PointResult) { once.Do(cancel) }))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("campaign error %v, want context.Canceled", err)
+	}
+	if len(results) != len(points) {
+		t.Fatalf("%d results for %d points", len(results), len(points))
+	}
+	completed, cancelled := 0, 0
+	for i, p := range results {
+		switch {
+		case p.Result != nil && p.Err == nil:
+			completed++
+		case p.Err != nil:
+			if !errors.Is(p.Err, context.Canceled) {
+				t.Errorf("point %d error %v does not wrap context.Canceled", i, p.Err)
+			}
+			cancelled++
+		default:
+			t.Errorf("point %d has neither result nor error", i)
+		}
+	}
+	if completed == 0 {
+		t.Error("no point completed before cancellation")
+	}
+	if cancelled == 0 {
+		t.Error("cancellation stopped nothing: all points completed")
+	}
+}
+
+// TestCampaignSinks checks the JSONL and CSV sinks receive every point and
+// serialize it parseably.
+func TestCampaignSinks(t *testing.T) {
+	var jsonl, csvBuf bytes.Buffer
+	collector := &Collector{}
+	results := runSweepPoints(t, 2,
+		WithSink(NewJSONLSink(&jsonl)),
+		WithSink(NewCSVSink(&csvBuf)),
+		WithSink(collector))
+
+	// JSONL: one parseable object per point, indices covering the sweep.
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != len(results) {
+		t.Fatalf("JSONL has %d lines, want %d", len(lines), len(results))
+	}
+	seen := map[int]bool{}
+	for _, line := range lines {
+		var p PointResult
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if p.Result == nil || p.Result.Metrics.Cycles == 0 {
+			t.Errorf("JSONL point %d has no metrics", p.Index)
+		}
+		seen[p.Index] = true
+	}
+	if len(seen) != len(results) {
+		t.Errorf("JSONL covers %d distinct indices, want %d", len(seen), len(results))
+	}
+
+	// CSV: header plus one row per point.
+	rows, err := csv.NewReader(&csvBuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(results)+1 {
+		t.Fatalf("CSV has %d rows, want %d", len(rows), len(results)+1)
+	}
+	for i, col := range CSVHeader {
+		if rows[0][i] != col {
+			t.Errorf("CSV header column %d = %q, want %q", i, rows[0][i], col)
+		}
+	}
+
+	// Collector: index-sorted and complete.
+	got := collector.Points()
+	if len(got) != len(results) {
+		t.Fatalf("collector has %d points", len(got))
+	}
+	for i, p := range got {
+		if p.Index != i {
+			t.Errorf("collector point %d has index %d", i, p.Index)
+		}
+	}
+}
+
+// TestCampaignPointError checks an invalid point fails alone without
+// aborting the rest of the batch.
+func TestCampaignPointError(t *testing.T) {
+	good := RunSpec{
+		Network: NetworkSpec{Preset: "t2d54"},
+		Traffic: TrafficSpec{Pattern: "rnd", Rate: 0.05},
+		Sim:     SimSpec{WarmupCycles: 100, MeasureCycles: 200, DrainCycles: 400, Seed: 1},
+	}
+	bad := good
+	bad.Network = NetworkSpec{Preset: "no_such_net"}
+	results, err := RunCampaign(t.Context(), []RunSpec{good, bad, good}, WithJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("good points failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("bad point succeeded")
+	}
+	if results[1].Error == "" {
+		t.Error("bad point has no serializable error text")
+	}
+}
+
+// TestCampaignSharedNetworkRace runs many concurrent simulations on one
+// WithNetwork-shared network. Under -race this pins the contract that
+// sim.New/Run never mutate a supplied topo.Network.
+func TestCampaignSharedNetworkRace(t *testing.T) {
+	net, kind, err := BuildNetwork(NetworkSpec{Preset: "t2d54"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []RunSpec
+	for i := 0; i < 12; i++ {
+		points = append(points, RunSpec{
+			Traffic: TrafficSpec{Pattern: "rnd", Rate: 0.02 + 0.005*float64(i)},
+			Sim:     SimSpec{WarmupCycles: 100, MeasureCycles: 300, DrainCycles: 600, Seed: int64(i + 1)},
+		})
+	}
+	results, err := RunCampaign(t.Context(), points,
+		WithJobs(runtime.NumCPU()),
+		WithPointOptions(func(int, RunSpec) []Option {
+			return []Option{WithNetwork(net, kind)}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range results {
+		if p.Err != nil {
+			t.Errorf("point %d: %v", i, p.Err)
+		}
+	}
+	if err := net.Validate(); err != nil {
+		t.Errorf("shared network mutated: %v", err)
+	}
+}

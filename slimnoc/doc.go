@@ -24,6 +24,18 @@
 // sweep, and WithAdaptivePolicy / WithEdgeBufferSizing override the
 // registry-provided routing policy and buffer sizing.
 //
+// Whole evaluation grids are campaigns: a SweepSpec declares axes (presets,
+// patterns, schemes, VC counts, loads, seeds) that expand into a
+// deterministic cartesian product of RunSpecs, and a Campaign executes them
+// on a worker pool — each distinct network built once and shared read-only,
+// per-point seeds fixed at expansion time (DeriveSeed) so results are
+// byte-identical at any job count, results streaming to pluggable Sinks
+// (Collector, NewJSONLSink, NewCSVSink) as points complete, and context
+// cancellation returning the partial result set:
+//
+//	sweep, _ := slimnoc.LoadSweep("sweep.json")
+//	results, err := slimnoc.NewCampaign(slimnoc.WithJobs(8)).RunSweep(ctx, sweep)
+//
 // SpecFlags layers the same spec model onto the flag package, giving every
 // command-line binary a shared `-spec run.json` + per-field overrides
 // convention.

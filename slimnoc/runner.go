@@ -62,7 +62,12 @@ type Runner struct {
 type Option func(*Runner)
 
 // WithNetwork supplies an already built network, bypassing the topology
-// registry (sweeps that reuse one network across many runs).
+// registry (sweeps that reuse one network across many runs). The network is
+// treated as read-only from here on: neither sim.New nor Run mutates a
+// supplied topo.Network, so one network may back any number of concurrent
+// Runners (the Campaign engine relies on this; TestCampaignSharedNetworkRace
+// pins it under -race). Callers must likewise stop mutating the network
+// once it is shared.
 func WithNetwork(net *Network, kind routing.Kind) Option {
 	return func(r *Runner) { r.net, r.kind, r.haveNet = net, kind, true }
 }
