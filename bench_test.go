@@ -375,6 +375,45 @@ func BenchmarkAblSmartHopFactor(b *testing.B) {
 	}
 }
 
+// BenchmarkEngine measures raw single-point simulator throughput on
+// fig12-style configurations: the SN-S network under uniform random traffic
+// at low, mid and high load, with and without SMART. Low and mid load are
+// where idle-scan waste dominated the pre-active-set engine, so these
+// sub-benchmarks are the headline numbers for engine-core optimisations
+// (tracked in BENCH_sim.json).
+func BenchmarkEngine(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		rate  float64
+		smart bool
+	}{
+		{"low-load", 0.008, true},
+		{"mid-load", 0.06, true},
+		{"high-load", 0.24, true},
+		{"low-load-nosmart", 0.008, false},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			spec := slimnoc.RunSpec{
+				Network: slimnoc.NetworkSpec{Preset: "sn_subgr_200"},
+				Traffic: slimnoc.TrafficSpec{Pattern: "rnd", Rate: bc.rate},
+				SMART:   bc.smart,
+				Sim:     slimnoc.QuickSim(),
+			}
+			spec.Sim.Seed = 1
+			for i := 0; i < b.N; i++ {
+				res, err := slimnoc.Run(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Metrics.Delivered == 0 {
+					b.Fatal("nothing delivered")
+				}
+			}
+		})
+	}
+}
+
 // campaignBenchPoints expands a quick fig12-style sweep: the small-network
 // SMART comparison at three loads under uniform random traffic.
 func campaignBenchPoints(b *testing.B) []slimnoc.RunSpec {

@@ -15,6 +15,7 @@
 //	snsim -spec run.json
 //	snsim -net t2d9 -rate 0.12 -save-spec run.json
 //	snsim -sweep sweep.json -jobs 8 -out results.jsonl
+//	snsim -net sn_subgr_200 -rate 0.24 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -23,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/slimnoc"
@@ -38,13 +41,45 @@ func main() {
 	jobs := flag.Int("jobs", 0, "campaign workers (0 = NumCPU, 1 = serial); -sweep only")
 	outPath := flag.String("out", "", "write campaign results as JSONL to this file; -sweep only")
 	csvPath := flag.String("csv-out", "", "write campaign results as CSV to this file; -sweep only")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 
-	if *sweepPath != "" {
+	// Profile teardown must run before exiting, so the exit code travels
+	// back out of run() instead of os.Exit firing mid-defer.
+	os.Exit(run(sf, *progress, *sweepPath, *jobs, *outPath, *csvPath, *cpuProfile, *memProfile))
+}
+
+// run executes the selected mode with profiling wrapped around it and
+// returns the process exit code. A failed profile write turns an otherwise
+// successful run into a failure, so scripts never consume a missing or
+// truncated profile.
+func run(sf *slimnoc.SpecFlags, progress bool, sweepPath string, jobs int, outPath, csvPath, cpuProfile, memProfile string) (code int) {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			if err := writeMemProfile(memProfile); err != nil && code == 0 {
+				code = fail(err)
+			}
+		}()
+	}
+
+	if sweepPath != "" {
 		// The single-run spec flags do not apply to a campaign: its points
 		// come entirely from the sweep file. Reject them loudly instead of
 		// silently running a different configuration than requested.
-		sweepFlags := map[string]bool{"sweep": true, "jobs": true, "out": true, "csv-out": true}
+		sweepFlags := map[string]bool{"sweep": true, "jobs": true, "out": true,
+			"csv-out": true, "cpuprofile": true, "memprofile": true}
 		var conflicts []string
 		flag.Visit(func(f *flag.Flag) {
 			if !sweepFlags[f.Name] {
@@ -52,19 +87,18 @@ func main() {
 			}
 		})
 		if len(conflicts) > 0 {
-			fatal(fmt.Errorf("%s do(es) not apply to -sweep mode; set those fields in the sweep file's base spec",
+			return fail(fmt.Errorf("%s do(es) not apply to -sweep mode; set those fields in the sweep file's base spec",
 				strings.Join(conflicts, ", ")))
 		}
-		runSweep(*sweepPath, *jobs, *outPath, *csvPath)
-		return
+		return runSweep(sweepPath, jobs, outPath, csvPath)
 	}
 
 	spec, err := sf.Spec(slimnoc.DefaultSpec())
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var opts []slimnoc.Option
-	if *progress {
+	if progress {
 		opts = append(opts, slimnoc.WithProgress(0, func(p slimnoc.Progress) {
 			fmt.Fprintf(os.Stderr, "cycle %d/%d: %d/%d packets delivered, %d flits in flight\n",
 				p.Cycle, p.TotalCycles, p.Delivered, p.Generated, p.InFlight)
@@ -72,7 +106,7 @@ func main() {
 	}
 	res, err := slimnoc.Run(context.Background(), spec, opts...)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	n, m := res.Network, res.Metrics
 	fmt.Printf("network     %s (Nr=%d, N=%d, k'=%d, D=%d, cycle %.1fns)\n",
@@ -86,17 +120,18 @@ func main() {
 	if m.Saturated {
 		fmt.Println("state       SATURATED")
 	}
+	return 0
 }
 
-// runSweep executes a declarative sweep campaign.
-func runSweep(path string, jobs int, outPath, csvPath string) {
+// runSweep executes a declarative sweep campaign and returns the exit code.
+func runSweep(path string, jobs int, outPath, csvPath string) int {
 	sweep, err := slimnoc.LoadSweep(path)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	points, err := sweep.Points()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Printf("sweep %s: %d points\n", sweep.Name, len(points))
 
@@ -129,7 +164,7 @@ func runSweep(path string, jobs int, outPath, csvPath string) {
 		}
 		f, err := os.Create(sink.path)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		files = append(files, f)
 		copts = append(copts, slimnoc.WithSink(sink.mk(f)))
@@ -155,15 +190,31 @@ func runSweep(path string, jobs int, outPath, csvPath string) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snsim: campaign interrupted (%d of %d points done): %v\n",
 			done, len(points), err)
-		os.Exit(130)
+		return 130
 	}
 	fmt.Printf("done: %d points (%d failed)\n", done, failed)
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
+// writeMemProfile snapshots the heap after the run.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // settle the heap so the profile shows retained memory
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fail reports an error and returns the generic failure exit code.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "snsim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -12,9 +12,13 @@
 // The implementation lives under internal/: the Slim NoC construction and
 // layout models in internal/core, the finite fields in internal/gf, the
 // baseline topologies in internal/topo, the cycle-accurate simulator in
-// internal/sim, the DSENT-substitute power models in internal/power, and
-// the per-figure experiment harness in internal/exp. The root package holds
+// internal/sim (an active-set engine whose steady-state loop is
+// allocation-free), the static-route compiler in internal/routing (whose
+// RouteTable interns per-pair paths that packets borrow and campaigns
+// share), the DSENT-substitute power models in internal/power, and the
+// per-figure experiment harness in internal/exp. The root package holds
 // the benchmark harness (bench_test.go) that regenerates every table and
-// figure of the paper's evaluation; run `go run ./cmd/snexp -list` for the
-// experiment index.
+// figure of the paper's evaluation plus the engine/campaign performance
+// benchmarks recorded in BENCH_sim.json; run `go run ./cmd/snexp -list`
+// for the experiment index.
 package repro

@@ -1,0 +1,166 @@
+// Compiled route tables. A RouteTable is the flattened, interned form of a
+// PathBuilder: per-(src,dst) router paths and VC assignments stored in two
+// shared backing arrays, handed out as sub-slice views so the simulator's
+// packets borrow their route instead of copying it. Compiled (eager) tables
+// are immutable and safe to share across any number of concurrent
+// simulations — the campaign engine builds one per distinct
+// (network, routing, VCs) combination and reuses it for every point.
+
+package routing
+
+import "fmt"
+
+// RouteTable holds precomputed (or deterministically memoized) routes for
+// one network and one PathBuilder. Paths returned by Route are views into
+// interned storage and must be treated as read-only by callers.
+type RouteTable struct {
+	nr  int
+	vcs int
+	// pb is retained only by memoizing tables; Compile drops it, freezing
+	// the table.
+	pb PathBuilder
+
+	// Interned storage: every compiled path's routers and per-hop VCs,
+	// concatenated. off/voff/plen index it per (src*nr+dst) pair; off < 0
+	// marks a pair not yet compiled (memoizing tables only).
+	routers []int32
+	hopVCs  []uint8
+	off     []int32
+	voff    []int32
+	plen    []int32
+}
+
+func newTable(nr int, pb PathBuilder) *RouteTable {
+	t := &RouteTable{
+		nr:   nr,
+		vcs:  pb.NumVCs(),
+		pb:   pb,
+		off:  make([]int32, nr*nr),
+		voff: make([]int32, nr*nr),
+		plen: make([]int32, nr*nr),
+	}
+	for i := range t.off {
+		t.off[i] = -1
+	}
+	return t
+}
+
+// Compile eagerly builds the full nr x nr route table from the builder. The
+// returned table is immutable: it never touches the builder again, and
+// concurrent readers need no synchronisation.
+func Compile(nr int, pb PathBuilder) (*RouteTable, error) {
+	t := newTable(nr, pb)
+	for src := 0; src < nr; src++ {
+		for dst := 0; dst < nr; dst++ {
+			if err := t.fill(src, dst); err != nil {
+				return nil, err
+			}
+		}
+	}
+	t.pb = nil // frozen
+	return t, nil
+}
+
+// NewMemoTable builds a lazily filled table: each (src,dst) pair is compiled
+// on first use and reused afterwards. Because the builder is deterministic,
+// the memoized route is identical to an eagerly compiled one. A memoizing
+// table mutates itself on lookup and is therefore NOT safe for concurrent
+// use; share only tables built with Compile.
+func NewMemoTable(nr int, pb PathBuilder) *RouteTable {
+	return newTable(nr, pb)
+}
+
+func (t *RouteTable) fill(src, dst int) error {
+	path, vcs := t.pb.Route(src, dst)
+	if len(vcs) != len(path)-1 {
+		return fmt.Errorf("routing: table compile %d->%d: %d vcs for %d hops",
+			src, dst, len(vcs), len(path)-1)
+	}
+	pair := src*t.nr + dst
+	t.off[pair] = int32(len(t.routers))
+	t.voff[pair] = int32(len(t.hopVCs))
+	t.plen[pair] = int32(len(path))
+	for _, r := range path {
+		t.routers = append(t.routers, int32(r))
+	}
+	for _, v := range vcs {
+		t.hopVCs = append(t.hopVCs, uint8(v))
+	}
+	return nil
+}
+
+// Route returns the router path (inclusive of both endpoints) and per-hop VC
+// assignment for src->dst as borrowed, read-only views into the table's
+// interned storage. On a memoizing table a first-time pair is compiled on
+// the spot; compile errors panic there, since the eager path has already
+// validated the builder in every shared configuration.
+func (t *RouteTable) Route(src, dst int) ([]int32, []uint8) {
+	pair := src*t.nr + dst
+	if t.off[pair] < 0 {
+		if t.pb == nil {
+			panic("routing: frozen RouteTable missing a pair")
+		}
+		if err := t.fill(src, dst); err != nil {
+			panic(err)
+		}
+	}
+	o, n := t.off[pair], t.plen[pair]
+	vo := t.voff[pair]
+	hops := n - 1
+	if hops < 0 {
+		hops = 0
+	}
+	return t.routers[o : o+n : o+n], t.hopVCs[vo : vo+hops : vo+hops]
+}
+
+// NumVCs returns the VC count of the compiled builder.
+func (t *RouteTable) NumVCs() int { return t.vcs }
+
+// Nr returns the router count the table was compiled for.
+func (t *RouteTable) Nr() int { return t.nr }
+
+// Pairs returns the number of compiled (src,dst) pairs (all nr^2 for an
+// eager table).
+func (t *RouteTable) Pairs() int {
+	n := 0
+	for _, o := range t.off {
+		if o >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AppendPath appends the src->dst router path to buf and returns it —
+// the allocation-free counterpart of Paths.MinPath for adaptive policies
+// reusing table candidates.
+func (t *RouteTable) AppendPath(buf []int, src, dst int) []int {
+	path, _ := t.Route(src, dst)
+	for _, r := range path {
+		buf = append(buf, int(r))
+	}
+	return buf
+}
+
+// AppendPathTail appends the src->dst path without its first router (used to
+// concatenate Valiant segments without duplicating the intermediate).
+func (t *RouteTable) AppendPathTail(buf []int, src, dst int) []int {
+	path, _ := t.Route(src, dst)
+	for _, r := range path[1:] {
+		buf = append(buf, int(r))
+	}
+	return buf
+}
+
+// AppendAscendingVCs appends the paper's ascending VC assignment for the
+// given hop count to buf — the allocation-free form of AscendingVCs.
+func AppendAscendingVCs(buf []int, hops, numVCs int) []int {
+	for i := 0; i < hops; i++ {
+		vc := i
+		if vc >= numVCs {
+			vc = numVCs - 1
+		}
+		buf = append(buf, vc)
+	}
+	return buf
+}

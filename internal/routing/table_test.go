@@ -1,0 +1,153 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// tableBuilders returns representative PathBuilders over small networks.
+func tableBuilders(t *testing.T) map[string]struct {
+	net *topo.Network
+	pb  PathBuilder
+} {
+	t.Helper()
+	mesh := topo.Mesh2D(4, 4, 1)
+	dorMesh, err := NewDORMesh(mesh, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus := topo.Torus2D(4, 4, 1)
+	dorTorus, err := NewDORTorus(torus, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbf := topo.FBF(4, 4, 1)
+	minimal := &MinimalRouting{P: NewMinimal(fbf), VCs: 3}
+	return map[string]struct {
+		net *topo.Network
+		pb  PathBuilder
+	}{
+		"dor-mesh":  {mesh, dorMesh},
+		"dor-torus": {torus, dorTorus},
+		"minimal":   {fbf, minimal},
+	}
+}
+
+// TestCompileMatchesBuilder verifies a compiled table reproduces its
+// builder's routes exactly for every pair, through both eager and memoized
+// construction.
+func TestCompileMatchesBuilder(t *testing.T) {
+	for name, tc := range tableBuilders(t) {
+		tc := tc
+		t.Run(name, func(t *testing.T) {
+			eager, err := Compile(tc.net.Nr, tc.pb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memo := NewMemoTable(tc.net.Nr, tc.pb)
+			if eager.NumVCs() != tc.pb.NumVCs() {
+				t.Fatalf("NumVCs %d != %d", eager.NumVCs(), tc.pb.NumVCs())
+			}
+			for src := 0; src < tc.net.Nr; src++ {
+				for dst := 0; dst < tc.net.Nr; dst++ {
+					wantPath, wantVCs := tc.pb.Route(src, dst)
+					for _, tab := range []*RouteTable{eager, memo} {
+						path, vcs := tab.Route(src, dst)
+						if len(path) != len(wantPath) || len(vcs) != len(wantVCs) {
+							t.Fatalf("%d->%d: table path/vcs lengths %d/%d, want %d/%d",
+								src, dst, len(path), len(vcs), len(wantPath), len(wantVCs))
+						}
+						for i := range path {
+							if int(path[i]) != wantPath[i] {
+								t.Fatalf("%d->%d: path[%d] = %d, want %d", src, dst, i, path[i], wantPath[i])
+							}
+						}
+						for i := range vcs {
+							if int(vcs[i]) != wantVCs[i] {
+								t.Fatalf("%d->%d: vcs[%d] = %d, want %d", src, dst, i, vcs[i], wantVCs[i])
+							}
+						}
+					}
+				}
+			}
+			if got := eager.Pairs(); got != tc.net.Nr*tc.net.Nr {
+				t.Errorf("eager table compiled %d pairs, want %d", got, tc.net.Nr*tc.net.Nr)
+			}
+		})
+	}
+}
+
+// TestTableBorrowIsolation pins the interning contract: the views handed
+// out by Route are capacity-clipped, so a caller appending to a borrowed
+// path cannot clobber the adjacent pair's storage.
+func TestTableBorrowIsolation(t *testing.T) {
+	net := topo.Mesh2D(3, 3, 1)
+	pb, err := NewDORMesh(net, 3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Compile(net.Nr, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path01, _ := tab.Route(0, 1)
+	before, _ := tab.Route(0, 2)
+	snapshot := append([]int32(nil), before...)
+	_ = append(path01, 99) // must reallocate, not overwrite interned storage
+	after, _ := tab.Route(0, 2)
+	for i := range snapshot {
+		if after[i] != snapshot[i] {
+			t.Fatalf("appending to a borrowed path corrupted neighbour storage: %v -> %v", snapshot, after)
+		}
+	}
+}
+
+func TestAppendPathHelpers(t *testing.T) {
+	net := topo.FBF(4, 4, 1)
+	p := NewMinimal(net)
+	tab, err := Compile(net.Nr, &MinimalRouting{P: p, VCs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int, 0, 8)
+	buf = tab.AppendPath(buf[:0], 0, 15)
+	want := p.MinPath(0, 15)
+	if len(buf) != len(want) {
+		t.Fatalf("AppendPath %v, want %v", buf, want)
+	}
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("AppendPath %v, want %v", buf, want)
+		}
+	}
+	// Valiant-style concatenation: src->mid then tail of mid->dst equals
+	// Paths.ValiantPath.
+	val := tab.AppendPath(nil, 0, 5)
+	val = tab.AppendPathTail(val, 5, 15)
+	wantVal := p.ValiantPath(0, 5, 15)
+	if len(val) != len(wantVal) {
+		t.Fatalf("valiant concat %v, want %v", val, wantVal)
+	}
+	for i := range val {
+		if val[i] != wantVal[i] {
+			t.Fatalf("valiant concat %v, want %v", val, wantVal)
+		}
+	}
+}
+
+func TestAppendAscendingVCs(t *testing.T) {
+	got := AppendAscendingVCs(nil, 5, 3)
+	want := AscendingVCs(5, 3)
+	if len(got) != len(want) {
+		t.Fatalf("%v != %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%v != %v", got, want)
+		}
+	}
+	if out := AppendAscendingVCs([]int{9}, 2, 4); len(out) != 3 || out[0] != 9 || out[1] != 0 || out[2] != 1 {
+		t.Fatalf("append onto prefix = %v", out)
+	}
+}

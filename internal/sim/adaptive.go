@@ -15,36 +15,53 @@ import (
 // random intermediate, weighting path length by queue occupancy. Global
 // variants see occupancy along the whole path; local variants only at the
 // source router's candidate output (§6).
+//
+// Candidate paths are borrowed from the simulation's memoized minimal route
+// table (Sim.MinRoutes) into reused scratch buffers, so route selection
+// allocates nothing once the table is warm. The returned slices are only
+// valid until the next Choose call, which the simulator's contract allows;
+// a UGAL value must not be shared by concurrently running simulations.
 type UGAL struct {
 	// Global selects UGAL-G (whole-path occupancy); otherwise UGAL-L
 	// (first-link occupancy only).
 	Global bool
 	// VCs used for the chosen path's ascending VC assignment.
 	VCs int
+
+	minPath, valPath, vcsBuf []int
 }
 
 // Choose implements AdaptivePolicy.
 func (u *UGAL) Choose(s *Sim, rng *rand.Rand, srcRouter, dstRouter int) ([]int, []int) {
-	p := s.Paths()
-	minPath := p.MinPath(srcRouter, dstRouter)
-	if len(minPath) <= 1 {
-		return minPath, nil
+	t := s.MinRoutes()
+	u.minPath = t.AppendPath(u.minPath[:0], srcRouter, dstRouter)
+	if len(u.minPath) <= 1 {
+		return u.minPath, nil
 	}
+	p := s.Paths()
 	mid := p.RandomIntermediate(rng, srcRouter, dstRouter)
-	valPath := p.ValiantPath(srcRouter, mid, dstRouter)
+	// Valiant path src->mid->dst without duplicating mid; degenerate
+	// intermediates fall back to the minimal path.
+	if mid == srcRouter || mid == dstRouter {
+		u.valPath = t.AppendPath(u.valPath[:0], srcRouter, dstRouter)
+	} else {
+		u.valPath = t.AppendPath(u.valPath[:0], srcRouter, mid)
+		u.valPath = t.AppendPathTail(u.valPath, mid, dstRouter)
+	}
 	var costMin, costVal int
 	if u.Global {
-		costMin = (s.PathOccupancy(minPath) + 1) * (len(minPath) - 1)
-		costVal = (s.PathOccupancy(valPath) + 1) * (len(valPath) - 1)
+		costMin = (s.PathOccupancy(u.minPath) + 1) * (len(u.minPath) - 1)
+		costVal = (s.PathOccupancy(u.valPath) + 1) * (len(u.valPath) - 1)
 	} else {
-		costMin = (s.LinkOccupancy(minPath[0], minPath[1]) + 1) * (len(minPath) - 1)
-		costVal = (s.LinkOccupancy(valPath[0], valPath[1]) + 1) * (len(valPath) - 1)
+		costMin = (s.LinkOccupancy(u.minPath[0], u.minPath[1]) + 1) * (len(u.minPath) - 1)
+		costVal = (s.LinkOccupancy(u.valPath[0], u.valPath[1]) + 1) * (len(u.valPath) - 1)
 	}
-	path := minPath
+	path := u.minPath
 	if costVal < costMin {
-		path = valPath
+		path = u.valPath
 	}
-	return path, routing.AscendingVCs(len(path)-1, u.VCs)
+	u.vcsBuf = routing.AppendAscendingVCs(u.vcsBuf[:0], len(path)-1, u.VCs)
+	return path, u.vcsBuf
 }
 
 // MinAdaptive picks, per packet, the minimal next hop with the least

@@ -37,27 +37,27 @@ func (s *Sim) Stuck() StuckReport {
 				}
 			}
 		}
-		for key, q := range rs.cbQueue {
-			if q == nil {
-				continue
-			}
-			for _, cp := range *q {
+		for slot := range rs.cbq {
+			q := &rs.cbq[slot]
+			for i := 0; i < q.len(); i++ {
+				cp := q.at(i)
 				if cp.stored.len() > 0 || cp.expected > 0 {
 					rep.InCB += cp.stored.len()
 					add(fmt.Sprintf("router %d CB (port %d vc %d): pkt %d stored %d expected %d",
-						r, key/64, key%64, cp.pkt.id, cp.stored.len(), cp.expected))
+						r, slot/s.cfg.VCs, slot%s.cfg.VCs, cp.pkt.id, cp.stored.len(), cp.expected))
 				}
 			}
 		}
 	}
 	for li := range s.links {
 		l := &s.links[li]
-		for vc := range l.inflight {
-			if n := len(l.inflight[vc]); n > 0 {
+		for vc := range l.lanes {
+			lane := &l.lanes[vc]
+			if n := lane.len(); n > 0 {
 				rep.OnLinks += n
-				f := l.inflight[vc][0].f
+				lf := lane.front()
 				add(fmt.Sprintf("link %d->%d vc %d: %d flits (head pkt %d arrive %d, now %d)",
-					l.from, l.to, vc, n, f.pkt.id, l.inflight[vc][0].arrive, s.now))
+					l.from, l.to, vc, n, lf.f.pkt.id, lf.arrive, s.now))
 			}
 		}
 	}
@@ -68,6 +68,6 @@ func (s *Sim) Stuck() StuckReport {
 			add(fmt.Sprintf("node %d injQ: %d flits (pkt %d dst %d)", v, n, f.pkt.id, f.pkt.dst))
 		}
 	}
-	rep.PendingEject = len(s.ejectDelayed)
+	rep.PendingEject = s.ejectWheel.pending
 	return rep
 }

@@ -1,0 +1,136 @@
+// Allocation-free engine containers: growable ring FIFOs that retain their
+// backing arrays across drains, fixed-horizon timing wheels for delayed
+// events, and dirty-index active sets. Together these turn the per-cycle
+// cost of the engine from O(topology) into O(pending work) while keeping the
+// steady-state loop free of heap allocations.
+
+package sim
+
+import "slices"
+
+// ring is a growable circular FIFO. Unlike an append/reslice queue it keeps
+// its backing array when drained, so a queue that has reached its
+// steady-state high-water mark never allocates again.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (r *ring[T]) len() int    { return r.n }
+func (r *ring[T]) empty() bool { return r.n == 0 }
+func (r *ring[T]) front() T    { return r.buf[r.head] }
+
+// at returns the i-th element from the front (0 = front).
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *ring[T]) pop() T {
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release references held by the slot
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+	return v
+}
+
+func (r *ring[T]) grow() {
+	nb := make([]T, max(2*len(r.buf), 8))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+// wheel is a fixed-horizon timing wheel: an event scheduled for absolute
+// cycle `at` lands in bucket at%len(buckets) and is drained when the clock
+// reaches it. The horizon must exceed the largest delay ever scheduled;
+// schedule panics otherwise, because a wrapped event would silently fire one
+// horizon early. Bucket slices retain capacity across reuse.
+type wheel[T any] struct {
+	buckets [][]T
+	pending int
+	peak    int
+}
+
+func newWheel[T any](horizon int64) *wheel[T] {
+	if horizon < 2 {
+		horizon = 2
+	}
+	return &wheel[T]{buckets: make([][]T, horizon)}
+}
+
+func (w *wheel[T]) schedule(now, at int64, v T) {
+	if at <= now || at >= now+int64(len(w.buckets)) {
+		panic("sim: wheel event outside horizon")
+	}
+	b := at % int64(len(w.buckets))
+	w.buckets[b] = append(w.buckets[b], v)
+	w.pending++
+	if w.pending > w.peak {
+		w.peak = w.pending
+	}
+}
+
+// take removes and returns the events due at cycle `now`. The returned slice
+// aliases the bucket's backing array, which is immediately reusable for
+// future cycles — callers must finish iterating (and clear element
+// references) before the wheel can revisit the same bucket, which is
+// guaranteed within one cycle's processing.
+func (w *wheel[T]) take(now int64) []T {
+	b := now % int64(len(w.buckets))
+	evs := w.buckets[b]
+	w.buckets[b] = evs[:0]
+	w.pending -= len(evs)
+	return evs
+}
+
+// activeSet tracks dirty entity indices (routers, links, NICs) with O(1)
+// deduplicated insertion and sorted iteration, so the engine visits entities
+// in the same index order as the original full scan — a requirement of the
+// byte-identical determinism contract.
+type activeSet struct {
+	in   []bool
+	list []int32
+}
+
+func newActiveSet(n int) activeSet {
+	return activeSet{in: make([]bool, n)}
+}
+
+func (a *activeSet) add(i int) {
+	if !a.in[i] {
+		a.in[i] = true
+		a.list = append(a.list, int32(i))
+	}
+}
+
+func (a *activeSet) size() int { return len(a.list) }
+
+// forEachSorted visits the active indices in ascending order; entries whose
+// step returns false are retired from the set. step must not add entries to
+// this same set (additions to other sets are fine) — the engine's phase
+// structure guarantees that: links activate routers, routers activate links,
+// NIC injection activates routers, never an entity of their own kind.
+func (a *activeSet) forEachSorted(step func(i int) bool) {
+	slices.Sort(a.list)
+	keep := a.list[:0]
+	for _, i := range a.list {
+		if step(int(i)) {
+			keep = append(keep, i)
+		} else {
+			a.in[i] = false
+		}
+	}
+	a.list = keep
+}

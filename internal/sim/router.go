@@ -1,5 +1,6 @@
 // Router pipeline: switch allocation, central-buffer management, injection
-// and ejection. One call to stepRouters advances every router by one cycle.
+// and ejection. One call to stepRouters advances every router with pending
+// work by one cycle; idle routers cost nothing.
 
 package sim
 
@@ -12,24 +13,30 @@ const (
 )
 
 // stepRouters performs ejection, central-buffer reads/writes, switch
-// allocation and injection for every router.
+// allocation and injection for every active router, in ascending router
+// index order (matching the original full scan).
 func (s *Sim) stepRouters() {
-	if s.ejUsed == nil {
-		s.ejUsed = make([]bool, s.net.N())
-	} else {
-		for i := range s.ejUsed {
-			s.ejUsed[i] = false
-		}
+	// Sparse reset of last cycle's ejection-port budget.
+	for _, slot := range s.ejTouched {
+		s.ejUsed[slot] = false
 	}
-	for r := range s.routers {
-		s.stepRouter(&s.routers[r])
-	}
+	s.ejTouched = s.ejTouched[:0]
+	s.activeRouters.forEachSorted(func(r int) bool {
+		rs := &s.routers[r]
+		s.stepRouter(rs)
+		return rs.work > 0
+	})
 }
 
 func (s *Sim) stepRouter(rs *routerState) {
 	kp := rs.kp
-	outUsed := make([]bool, kp)
-	inUsed := make([]bool, kp)
+	outUsed, inUsed := rs.outUsed, rs.inUsed
+	for i := range outUsed {
+		outUsed[i] = false
+	}
+	for i := range inUsed {
+		inUsed[i] = false
+	}
 
 	// 1. Central-buffer read port: drain at most one flit from the CB.
 	if s.cfg.Scheme == CentralBuffer {
@@ -37,31 +44,36 @@ func (s *Sim) stepRouter(rs *routerState) {
 	}
 
 	// 2. Network inputs: iterate ports with a rotating start for fairness.
+	// The rotation advances once per cycle whether or not the router does
+	// work, so it is derived from the clock rather than stored (idle
+	// routers are skipped entirely but must arbitrate identically).
 	cbWrote := false
-	for off := 0; off < kp; off++ {
-		pi := (rs.rrIn + off) % kp
-		if inUsed[pi] {
-			continue
-		}
-		for vc := 0; vc < s.cfg.VCs; vc++ {
-			in := &rs.in[pi][vc]
-			if in.q.empty() {
+	if kp > 0 {
+		rr := int(s.now % int64(kp))
+		for off := 0; off < kp; off++ {
+			pi := (rr + off) % kp
+			if inUsed[pi] {
 				continue
 			}
-			f := in.q.front()
-			if s.tryAdvance(rs, f, outUsed, &cbWrote, pi, vc) {
-				inUsed[pi] = true
-				break
+			for vc := 0; vc < s.cfg.VCs; vc++ {
+				in := &rs.in[pi][vc]
+				if in.q.empty() {
+					continue
+				}
+				f := in.q.front()
+				if s.tryAdvance(rs, f, outUsed, &cbWrote, pi, vc) {
+					inUsed[pi] = true
+					break
+				}
 			}
 		}
-	}
-	rs.rrIn++
-	if rs.rrIn >= kp && kp > 0 {
-		rs.rrIn = 0
 	}
 
 	// 3. Injection: each attached node may insert one flit per cycle.
-	for _, node := range s.net.RouterNodes(rs.id) {
+	// Nodes attach contiguously (New rejects node maps), matching the
+	// order of Network.RouterNodes without its allocation.
+	base := rs.id * s.net.P
+	for node := base; node < base+s.net.P; node++ {
 		nc := &s.nics[node]
 		if nc.injQ.empty() {
 			continue
@@ -74,9 +86,9 @@ func (s *Sim) stepRouter(rs *routerState) {
 			if s.ejUsed[slot] {
 				continue
 			}
-			s.ejUsed[slot] = true
+			s.markEjUsed(slot)
 			nc.injQ.pop()
-			s.ejectWithDelay(f)
+			s.ejectWithDelay(rs, f)
 			continue
 		}
 		outPort := s.portToward(rs.id, int(p.path[f.hop+1]))
@@ -93,6 +105,12 @@ func (s *Sim) stepRouter(rs *routerState) {
 	}
 }
 
+// markEjUsed consumes a node's ejection budget for this cycle.
+func (s *Sim) markEjUsed(slot int) {
+	s.ejUsed[slot] = true
+	s.ejTouched = append(s.ejTouched, int32(slot))
+}
+
 // tryAdvance attempts to move the head flit of input (pi, vc). Returns true
 // if the flit was consumed.
 func (s *Sim) tryAdvance(rs *routerState, f flit, outUsed []bool, cbWrote *bool, pi, vc int) bool {
@@ -106,9 +124,9 @@ func (s *Sim) tryAdvance(rs *routerState, f flit, outUsed []bool, cbWrote *bool,
 		if s.ejUsed[slot] {
 			return false
 		}
-		s.ejUsed[slot] = true
+		s.markEjUsed(slot)
 		s.popInput(rs, pi, vc)
-		s.ejectWithDelay(f)
+		s.ejectWithDelay(rs, f)
 		return true
 	}
 	outPort := s.portToward(rs.id, int(p.path[f.hop+1]))
@@ -124,6 +142,7 @@ func (s *Sim) tryAdvance(rs *routerState, f flit, outUsed []bool, cbWrote *bool,
 		return false
 	}
 	s.popInput(rs, pi, vc)
+	s.forwardedFlits++
 	s.sendFlit(rs, f, outPort, outVC, routerDelayDirect)
 	outUsed[outPort] = true
 	return true
@@ -136,29 +155,18 @@ func (s *Sim) tryAdvance(rs *routerState, f flit, outUsed []bool, cbWrote *bool,
 // 4-cycle path.
 func (s *Sim) tryAdvanceCBR(rs *routerState, f flit, outUsed []bool, cbWrote *bool, pi, vc, outPort, outVC int) bool {
 	p := f.pkt
-	key := cbKey(outPort, outVC)
-	if p.cbState == nil {
-		p.cbState = make([]uint8, len(p.path))
-	}
+	q := &rs.cbq[outPort*s.cfg.VCs+outVC]
 	if f.head() && p.cbState[f.hop] == 0 {
 		// Decide once per router visit.
-		queueEmpty := true
-		if q := rs.cbQueue[key]; q != nil && len(*q) > 0 {
-			queueEmpty = false
-		}
-		if queueEmpty && rs.outOwner[outPort][outVC] == -1 && !outUsed[outPort] &&
+		if q.empty() && rs.outOwner[outPort][outVC] == -1 && !outUsed[outPort] &&
 			s.linkHasRoom(rs, outPort, outVC) {
 			p.cbState[f.hop] = 1 // bypass
 		} else if rs.cbFree >= p.flits {
 			rs.cbFree -= p.flits
 			p.cbState[f.hop] = 2 // buffered
-			cp := &cbPacket{pkt: p, outPort: outPort, outVC: outVC, expected: p.flits}
-			q := rs.cbQueue[key]
-			if q == nil {
-				q = new([]*cbPacket)
-				rs.cbQueue[key] = q
-			}
-			*q = append(*q, cp)
+			cp := s.allocCBPacket()
+			cp.pkt, cp.outPort, cp.outVC, cp.expected = p, outPort, outVC, p.flits
+			q.push(cp)
 		} else {
 			return false // wait for CB space or the output
 		}
@@ -173,8 +181,8 @@ func (s *Sim) tryAdvanceCBR(rs *routerState, f flit, outUsed []bool, cbWrote *bo
 		if *cbWrote {
 			return false
 		}
-		q := rs.cbQueue[key]
-		for _, cp := range *q {
+		for i := 0; i < q.len(); i++ {
+			cp := q.at(i)
 			if cp.pkt == p {
 				s.popInput(rs, pi, vc)
 				cp.stored.push(f)
@@ -194,9 +202,28 @@ func (s *Sim) tryAdvanceCBR(rs *routerState, f flit, outUsed []bool, cbWrote *bo
 	}
 	s.popInput(rs, pi, vc)
 	s.bypassFlits++
+	s.forwardedFlits++
 	s.sendFlit(rs, f, outPort, outVC, routerDelayDirect)
 	outUsed[outPort] = true
 	return true
+}
+
+// allocCBPacket takes a CB packet record from the freelist.
+func (s *Sim) allocCBPacket() *cbPacket {
+	if n := len(s.cbPool); n > 0 {
+		cp := s.cbPool[n-1]
+		s.cbPool[n-1] = nil
+		s.cbPool = s.cbPool[:n-1]
+		return cp
+	}
+	return &cbPacket{}
+}
+
+// freeCBPacket recycles a drained CB packet record, keeping its ring's
+// capacity.
+func (s *Sim) freeCBPacket(cp *cbPacket) {
+	cp.pkt = nil
+	s.cbPool = append(s.cbPool, cp)
 }
 
 // cbDrain moves at most one flit from the central buffer to an output (the
@@ -208,11 +235,11 @@ func (s *Sim) cbDrain(rs *routerState, outUsed []bool) {
 	for off := 0; off < total; off++ {
 		slot := (start + off) % total
 		outPort, outVC := slot/s.cfg.VCs, slot%s.cfg.VCs
-		q := rs.cbQueue[cbKey(outPort, outVC)]
-		if q == nil || len(*q) == 0 {
+		q := &rs.cbq[slot]
+		if q.empty() {
 			continue
 		}
-		cp := (*q)[0]
+		cp := q.front()
 		if cp.stored.empty() {
 			continue
 		}
@@ -226,10 +253,12 @@ func (s *Sim) cbDrain(rs *routerState, outUsed []bool) {
 		cp.stored.pop()
 		rs.cbFree++
 		s.bufferedFlits++
+		s.forwardedFlits++
 		s.sendFlit(rs, f, outPort, outVC, routerDelayBuffered)
 		outUsed[outPort] = true
 		if f.tail() {
-			*q = (*q)[1:]
+			q.pop()
+			s.freeCBPacket(cp)
 		}
 		return // single read port
 	}
@@ -241,8 +270,6 @@ func maxi(a, b int) int {
 	}
 	return b
 }
-
-func cbKey(port, vc int) int { return port*64 + vc }
 
 // outputReady checks VC ownership and downstream space for one flit.
 func (s *Sim) outputReady(rs *routerState, p *packet, outPort, outVC int, head bool) bool {
@@ -268,7 +295,8 @@ func (s *Sim) linkHasRoom(rs *routerState, outPort, outVC int) bool {
 }
 
 // sendFlit commits a flit to an output: ownership transitions, credit
-// consumption, link occupancy, and the traversal itself.
+// consumption, link occupancy, and the traversal itself. The flit leaves
+// the router, so its work counter drops and the link wakes.
 func (s *Sim) sendFlit(rs *routerState, f flit, outPort, outVC int, delay int64) {
 	p := f.pkt
 	if f.head() {
@@ -283,11 +311,15 @@ func (s *Sim) sendFlit(rs *routerState, f flit, outPort, outVC int, delay int64)
 			panic("sim: negative credits")
 		}
 	}
-	l := &s.links[rs.outLink[outPort]]
+	lid := rs.outLink[outPort]
+	l := &s.links[lid]
 	f.hop++
-	l.inflight[outVC] = append(l.inflight[outVC], linkFlit{f: f, arrive: s.now + delay + l.latency})
+	l.lanes[outVC].push(linkFlit{f: f, arrive: s.now + delay + l.latency})
+	l.pending++
 	l.perVCInFly[outVC]++
 	l.occupancy++
+	s.activeLinks.add(lid)
+	rs.work--
 }
 
 // popInput removes the head flit from input (pi, vc): returns a credit
@@ -297,18 +329,26 @@ func (s *Sim) popInput(rs *routerState, pi, vc int) {
 	l := &s.links[rs.inLink[pi]]
 	l.occupancy--
 	if s.cfg.Scheme == EdgeBuffers {
-		s.credits = append(s.credits, creditEvent{
-			at:     s.now + l.latency,
-			router: l.from,
-			port:   rs.revPort[pi],
-			vc:     vc,
+		s.creditWheel.schedule(s.now, s.now+l.latency, creditEvent{
+			router: int32(l.from),
+			port:   int32(rs.revPort[pi]),
+			vc:     int32(vc),
 		})
 	}
 }
 
 // portToward returns the output port index at router r leading to neighbour
-// nxt.
+// nxt, panicking if the link does not exist.
 func (s *Sim) portToward(r, nxt int) int {
+	pos, ok := s.portTowardOK(r, nxt)
+	if !ok {
+		panic("sim: route uses a missing link")
+	}
+	return pos
+}
+
+// portTowardOK binary-searches r's sorted adjacency for nxt.
+func (s *Sim) portTowardOK(r, nxt int) (int, bool) {
 	adj := s.net.Adj[r]
 	lo, hi := 0, len(adj)
 	for lo < hi {
@@ -320,29 +360,39 @@ func (s *Sim) portToward(r, nxt int) int {
 		}
 	}
 	if lo >= len(adj) || adj[lo] != nxt {
-		panic("sim: route uses a missing link")
+		return 0, false
 	}
-	return lo
+	return lo, true
 }
 
 // ejSlot identifies a node's ejection port (one per node).
 func (s *Sim) ejSlot(node int) int { return node }
 
 // ejectWithDelay consumes a flit at its destination, accounting for the
-// final router traversal.
-func (s *Sim) ejectWithDelay(f flit) {
-	s.ejectDelayed = append(s.ejectDelayed, linkFlit{f: f, arrive: s.now + routerDelayDirect})
+// final router traversal via the ejection timing wheel.
+func (s *Sim) ejectWithDelay(rs *routerState, f flit) {
+	s.ejectWheel.schedule(s.now, s.now+routerDelayDirect, f)
+	rs.work--
 }
 
 // flushEjections completes delayed ejections whose router traversal is done.
 func (s *Sim) flushEjections() {
-	out := s.ejectDelayed[:0]
-	for _, e := range s.ejectDelayed {
-		if e.arrive <= s.now {
-			s.eject(e.f)
-		} else {
-			out = append(out, e)
-		}
+	evs := s.ejectWheel.take(s.now)
+	for _, f := range evs {
+		s.eject(f)
 	}
-	s.ejectDelayed = out
+	clear(evs)
+}
+
+// flushAllEjections drains every pending ejection after the main loop, in
+// arrival order (the wheel horizon covers the maximum residual delay).
+func (s *Sim) flushAllEjections(stop int64) {
+	horizon := int64(len(s.ejectWheel.buckets))
+	for t := stop; t <= stop+horizon; t++ {
+		evs := s.ejectWheel.take(t)
+		for _, f := range evs {
+			s.eject(f)
+		}
+		clear(evs)
+	}
 }

@@ -7,12 +7,22 @@
 // storage, §4.2), and SMART links that traverse H grid hops per cycle
 // (§3.2.2). Packets are source-routed with per-hop VC assignments supplied
 // by internal/routing, which guarantees deadlock freedom (§4.3).
+//
+// The engine is an active-set design: instead of scanning every link,
+// router and NIC each cycle, dirty lists track the entities with pending
+// work, timing wheels deliver credit returns and delayed ejections, static
+// routes come pre-compiled from a routing.RouteTable whose interned paths
+// packets borrow rather than copy, and packet/buffer freelists make the
+// steady-state cycle loop allocation-free. All of this is behaviour-
+// preserving: results are byte-identical to the original full-scan engine
+// (pinned by the golden-metrics fixture in testdata/golden_results.json).
 package sim
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/routing"
 	"repro/internal/topo"
@@ -33,11 +43,23 @@ const (
 	ElasticLinks
 )
 
+// maxVCs bounds Config.VCs: VC indices are packed into uint8 per-hop
+// assignments and historically into 6-bit central-buffer queue keys, so a
+// larger count would silently collide. Validated by New.
+const maxVCs = 63
+
 // Config describes one simulation.
 type Config struct {
-	Net     *topo.Network
+	Net *topo.Network
+	// Routing produces static source routes. Optional when Table is set.
 	Routing routing.PathBuilder
-	VCs     int
+	// Table optionally supplies the compiled form of the static routes;
+	// when nil (and no Adaptive policy is set) New compiles one from
+	// Routing. A table built with routing.Compile is immutable, so one
+	// table may back any number of concurrent simulations — the campaign
+	// engine shares one per (network, routing, VCs) combination.
+	Table *routing.RouteTable
+	VCs   int
 
 	Scheme BufferScheme
 	// EdgeBufCap returns the per-VC input-buffer capacity in flits for a
@@ -55,6 +77,11 @@ type Config struct {
 	PacketFlits int   // flits per packet for synthetic traffic (paper: 6)
 	InjQueueCap int   // NIC injection queue capacity in flits (paper: 20)
 	Seed        int64 // RNG seed (injection processes, adaptive choices)
+
+	// LatSampleCap is the initial capacity of the latency sample buffer, a
+	// hint bounding reallocation churn while the buffer grows toward the
+	// run's tracked-packet count (default 4096).
+	LatSampleCap int
 
 	// Traffic supplies injections; see Source.
 	Traffic Source
@@ -79,7 +106,9 @@ type Source interface {
 // AdaptivePolicy chooses a packet's route given live network state.
 type AdaptivePolicy interface {
 	// Choose returns the router path and per-hop VCs for a packet from
-	// srcRouter to dstRouter.
+	// srcRouter to dstRouter. The simulator copies both slices before the
+	// next Choose call, so implementations may return reused scratch
+	// buffers.
 	Choose(s *Sim, rng *rand.Rand, srcRouter, dstRouter int) (path []int, vcs []int)
 }
 
@@ -102,6 +131,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.CBCap == 0 {
 		c.CBCap = 20
+	}
+	if c.LatSampleCap == 0 {
+		c.LatSampleCap = 4096
 	}
 	if c.WarmupCycles == 0 {
 		c.WarmupCycles = 5000
@@ -128,16 +160,22 @@ func EdgeBufVar(h, vcs int) func(dist int) int {
 	}
 }
 
-// packet is one in-flight packet.
+// packet is one in-flight packet. Packets are recycled through a freelist
+// once their tail flit ejects, so every field is (re)initialised on
+// allocation.
 type packet struct {
 	id       int64
 	src, dst int // nodes
-	path     []int32
-	vcs      []uint8
-	flits    int
-	class    int
-	genTime  int64
-	tracked  bool
+	// path/vcs either borrow a RouteTable's interned storage (static
+	// routing) or view the packet's own pathBuf/vcsBuf (adaptive routing);
+	// they are read-only either way.
+	path  []int32
+	vcs   []uint8
+	flits int
+	class int
+
+	genTime int64
+	tracked bool
 	// flitsMoved counts flits transferred from the source queue into the
 	// NIC injection buffer.
 	flitsMoved int
@@ -146,6 +184,10 @@ type packet struct {
 	// by hop because head and tail flits of one packet can occupy
 	// different routers simultaneously.
 	cbState []uint8
+	// pathBuf/vcsBuf are the packet-owned route storage for dynamically
+	// (adaptively) routed packets; retained across freelist recycles.
+	pathBuf []int32
+	vcsBuf  []uint8
 }
 
 // flit references its packet and position.
@@ -158,24 +200,6 @@ type flit struct {
 func (f flit) head() bool { return f.idx == 0 }
 func (f flit) tail() bool { return int(f.idx) == f.pkt.flits-1 }
 
-// fifo is a simple flit queue.
-type fifo struct {
-	buf []flit
-}
-
-func (q *fifo) len() int    { return len(q.buf) }
-func (q *fifo) empty() bool { return len(q.buf) == 0 }
-func (q *fifo) front() flit { return q.buf[0] }
-func (q *fifo) push(f flit) { q.buf = append(q.buf, f) }
-func (q *fifo) pop() flit {
-	f := q.buf[0]
-	q.buf = q.buf[1:]
-	if len(q.buf) == 0 && cap(q.buf) > 64 {
-		q.buf = nil
-	}
-	return f
-}
-
 // linkFlit is a flit in flight on a wire.
 type linkFlit struct {
 	f      flit
@@ -184,36 +208,38 @@ type linkFlit struct {
 
 // link is a directed wire between routers. In elastic modes the pipeline
 // registers themselves store flits (per-VC, ElastiStore-style independent
-// handshakes), so inflight is kept per VC.
+// handshakes), so in-flight flits are kept per VC lane.
 type link struct {
 	from, to   int // routers
 	toPort     int // input port index at the destination router
 	latency    int64
-	inflight   [][]linkFlit // per VC
-	perVCInFly []int        // flits in flight per VC
-	occupancy  int          // flits on the wire plus downstream (UGAL signal)
+	lanes      []ring[linkFlit] // per VC
+	pending    int              // flits across all lanes (active-set signal)
+	perVCInFly []int            // flits in flight per VC
+	occupancy  int              // flits on the wire plus downstream (UGAL signal)
 }
 
-// creditEvent returns a credit to (router, port, vc) at a future cycle.
+// creditEvent returns a credit to (router, port, vc); its due cycle is the
+// timing-wheel bucket it is scheduled into.
 type creditEvent struct {
-	at       int64
-	router   int
-	port, vc int
+	router   int32
+	port, vc int32
 }
 
 // inputVC is one input buffer (port, vc) at a router.
 type inputVC struct {
-	q   fifo
+	q   ring[flit]
 	cap int
 }
 
 // cbPacket is a packet resident in (or streaming through) a central buffer.
+// Recycled through a freelist when its tail flit drains.
 type cbPacket struct {
 	pkt      *packet
 	outPort  int
 	outVC    int
-	stored   fifo // flits currently in the CB
-	expected int  // flits still to arrive into the CB
+	stored   ring[flit] // flits currently in the CB
+	expected int        // flits still to arrive into the CB
 }
 
 // routerState holds all per-router simulation state.
@@ -233,20 +259,26 @@ type routerState struct {
 	// router's position in the upstream router's adjacency (credit target).
 	inLink  []int
 	revPort []int
-	// CBR state.
-	cbFree  int
-	cbQueue map[int]*[]*cbPacket // key port*64+vc -> FIFO of CB packets
-	// round-robin pointers for switch allocation fairness
-	rrIn int
+	// CBR state: cbq[port*VCs+vc] is the FIFO of CB-resident packets bound
+	// for that output (flat slice; the historical map keyed port*64+vc is
+	// gone, but the 6-bit VC bound it implied is still validated by New).
+	cbFree int
+	cbq    []ring[*cbPacket]
+	// work counts flits resident at this router — input buffers, central
+	// buffer, and attached NIC injection queues. The router stays in the
+	// active set while work > 0.
+	work int
+	// outUsed/inUsed are per-cycle switch-allocation scratch, cleared at
+	// the top of stepRouter.
+	outUsed, inUsed []bool
 }
 
 // nic is one node's network interface.
 type nic struct {
-	node    int
-	srcQ    []*packet // unbounded source queue (open-loop measurement)
-	injQ    fifo      // bounded injection buffer (flits)
-	injCap  int
-	ejected int64
+	node   int
+	srcQ   ring[*packet] // unbounded source queue (open-loop measurement)
+	injQ   ring[flit]    // bounded injection buffer (flits)
+	injCap int
 }
 
 // Sim is a runnable simulation instance.
@@ -257,14 +289,32 @@ type Sim struct {
 	now     int64
 	routers []routerState
 	links   []link
-	// linkIndex[from][portAtFrom] = link id; portOf[r][neighbor index] maps.
-	portAt  [][]int // portAt[r] maps adjacency position -> input port at peer
-	nics    []nic
-	credits []creditEvent // pending credit returns (unsorted; scanned per cycle)
-	paths   *routing.Paths
+	// portAt[r] maps adjacency position -> input port at peer.
+	portAt [][]int
+	nics   []nic
+	table  *routing.RouteTable // compiled static routes (nil when adaptive)
+	minTab *routing.RouteTable // memoized minimal candidates for adaptive policies
+	paths  *routing.Paths
 
-	ejUsed       []bool     // per-node ejection port budget, reset each cycle
-	ejectDelayed []linkFlit // flits finishing their last router traversal
+	// Active sets: the only entities visited each cycle.
+	activeRouters activeSet
+	activeLinks   activeSet
+	activeNICs    activeSet
+
+	// Timing wheels replacing the per-cycle credit and ejection scans.
+	creditWheel *wheel[creditEvent]
+	ejectWheel  *wheel[flit]
+
+	ejUsed    []bool  // per-node ejection port budget, reset each cycle
+	ejTouched []int32 // ejUsed slots set this cycle (sparse reset)
+
+	// Freelists.
+	pktPool []*packet
+	cbPool  []*cbPacket
+
+	// Persistent emit callbacks so the hot loop creates no closures.
+	genEmit   func(src, dst, flits, class int)
+	replyEmit func(src, dst, flits, class int)
 
 	nextPktID int64
 
@@ -282,7 +332,73 @@ type Sim struct {
 	// 4-cycle buffered path (§4.1).
 	bypassFlits   int64
 	bufferedFlits int64
-	lastEject     int64 // cycle of the most recent ejection (deadlock watchdog)
+	// forwardedFlits counts every flit forwarded out of an input stage at
+	// an intermediate router (conservation invariant: for CentralBuffer it
+	// equals bypassFlits+bufferedFlits).
+	forwardedFlits int64
+	lastEject      int64 // cycle of the most recent ejection (deadlock watchdog)
+
+	eng engineCounters
+}
+
+// engineCounters accumulates EngineStats.
+type engineCounters struct {
+	cycles     int64
+	pktAllocs  int64
+	pktReuses  int64
+	routerSum  int64
+	routerPeak int
+	linkSum    int64
+	linkPeak   int
+	nicSum     int64
+	nicPeak    int
+}
+
+// EngineStats reports engine-internal telemetry: freelist behaviour (a
+// steady-state run reuses packets instead of allocating), active-set
+// occupancy (how much of the topology each cycle actually touches), and
+// timing-wheel depth. All values are deterministic for a fixed seed.
+type EngineStats struct {
+	Cycles int64 `json:"cycles"`
+	// PacketAllocs counts freelist misses (new packet allocations);
+	// PacketReuses counts recycled packets.
+	PacketAllocs int64 `json:"packet_allocs"`
+	PacketReuses int64 `json:"packet_reuses"`
+	// Active-set occupancy, sampled at the end of every cycle.
+	AvgActiveRouters  float64 `json:"avg_active_routers"`
+	PeakActiveRouters int     `json:"peak_active_routers"`
+	AvgActiveLinks    float64 `json:"avg_active_links"`
+	PeakActiveLinks   int     `json:"peak_active_links"`
+	AvgActiveNICs     float64 `json:"avg_active_nics"`
+	PeakActiveNICs    int     `json:"peak_active_nics"`
+	// Timing-wheel depth peaks (pending events).
+	PeakCreditEvents int `json:"peak_credit_events"`
+	PeakEjectEvents  int `json:"peak_eject_events"`
+}
+
+// EngineStats returns the engine telemetry accumulated so far.
+func (s *Sim) EngineStats() EngineStats {
+	st := EngineStats{
+		Cycles:            s.eng.cycles,
+		PacketAllocs:      s.eng.pktAllocs,
+		PacketReuses:      s.eng.pktReuses,
+		PeakActiveRouters: s.eng.routerPeak,
+		PeakActiveLinks:   s.eng.linkPeak,
+		PeakActiveNICs:    s.eng.nicPeak,
+	}
+	if s.creditWheel != nil {
+		st.PeakCreditEvents = s.creditWheel.peak
+	}
+	if s.ejectWheel != nil {
+		st.PeakEjectEvents = s.ejectWheel.peak
+	}
+	if s.eng.cycles > 0 {
+		c := float64(s.eng.cycles)
+		st.AvgActiveRouters = float64(s.eng.routerSum) / c
+		st.AvgActiveLinks = float64(s.eng.linkSum) / c
+		st.AvgActiveNICs = float64(s.eng.nicSum) / c
+	}
+	return st
 }
 
 // Result summarises one run.
@@ -306,11 +422,20 @@ type Result struct {
 // New builds a simulation from the config.
 func New(cfg Config) (*Sim, error) {
 	cfg.setDefaults()
-	if cfg.Net == nil || cfg.Routing == nil || cfg.Traffic == nil {
-		return nil, fmt.Errorf("sim: Net, Routing and Traffic are required")
+	if cfg.Net == nil || cfg.Traffic == nil {
+		return nil, fmt.Errorf("sim: Net and Traffic are required")
+	}
+	if cfg.Routing == nil && cfg.Table == nil && cfg.Adaptive == nil {
+		return nil, fmt.Errorf("sim: one of Routing, Table or Adaptive is required")
 	}
 	if cfg.Net.NodeMap != nil {
 		return nil, fmt.Errorf("sim: indirect networks (node maps) are not simulated")
+	}
+	if cfg.VCs < 1 || cfg.VCs > maxVCs {
+		// The per-hop VC assignment is a uint8 and central-buffer queue
+		// keys historically packed the VC into 6 bits; beyond 63 VCs keys
+		// would silently collide.
+		return nil, fmt.Errorf("sim: VCs = %d out of range [1, %d]", cfg.VCs, maxVCs)
 	}
 	s := &Sim{
 		cfg: cfg,
@@ -334,9 +459,14 @@ func New(cfg Config) (*Sim, error) {
 		rs.inLink = make([]int, kp)
 		rs.revPort = make([]int, kp)
 		rs.cbFree = cfg.CBCap
-		rs.cbQueue = make(map[int]*[]*cbPacket)
+		rs.outUsed = make([]bool, kp)
+		rs.inUsed = make([]bool, kp)
+		if cfg.Scheme == CentralBuffer {
+			rs.cbq = make([]ring[*cbPacket], kp*cfg.VCs)
+		}
 		s.portAt[r] = make([]int, kp)
 	}
+	maxLat := int64(1)
 	for r := 0; r < nr; r++ {
 		adj := s.net.Adj[r]
 		for pi, nb := range adj {
@@ -353,10 +483,13 @@ func New(cfg Config) (*Sim, error) {
 			if lat < 1 {
 				lat = 1
 			}
+			if lat > maxLat {
+				maxLat = lat
+			}
 			l := link{
 				from: nb, to: r, toPort: pi, latency: lat,
 				perVCInFly: make([]int, cfg.VCs),
-				inflight:   make([][]linkFlit, cfg.VCs),
+				lanes:      make([]ring[linkFlit], cfg.VCs),
 			}
 			s.links = append(s.links, l)
 			lid := len(s.links) - 1
@@ -400,6 +533,40 @@ func New(cfg Config) (*Sim, error) {
 	for v := range s.nics {
 		s.nics[v] = nic{node: v, injCap: cfg.InjQueueCap}
 	}
+	// Compiled static routes: adaptive policies route per packet, everyone
+	// else reads the table (supplied and shared, or compiled here).
+	if cfg.Adaptive == nil {
+		if cfg.Table != nil {
+			// A mismatched table would route over links this network does
+			// not have (or VCs the buffers do not). Dimensions are the
+			// cheap invariant we can check.
+			if cfg.Table.Nr() != nr || cfg.Table.NumVCs() != cfg.VCs {
+				return nil, fmt.Errorf("sim: route table compiled for %d routers / %d VCs, network has %d routers / %d VCs",
+					cfg.Table.Nr(), cfg.Table.NumVCs(), nr, cfg.VCs)
+			}
+			s.table = cfg.Table
+		} else {
+			tab, err := routing.Compile(nr, cfg.Routing)
+			if err != nil {
+				return nil, err
+			}
+			s.table = tab
+		}
+	}
+	// Engine machinery.
+	s.activeRouters = newActiveSet(nr)
+	s.activeLinks = newActiveSet(len(s.links))
+	s.activeNICs = newActiveSet(s.net.N())
+	s.creditWheel = newWheel[creditEvent](maxLat + 1)
+	s.ejectWheel = newWheel[flit](routerDelayDirect + 1)
+	s.ejUsed = make([]bool, s.net.N())
+	s.lat = make([]int64, 0, cfg.LatSampleCap)
+	s.genEmit = func(src, dst, flits, class int) {
+		s.enqueuePacket(src, dst, flits, class, s.now >= s.cfg.WarmupCycles)
+	}
+	s.replyEmit = func(src, dst, flits, class int) {
+		s.enqueuePacket(src, dst, flits, class, false)
+	}
 	return s, nil
 }
 
@@ -424,6 +591,12 @@ func (s *Sim) CBPathStats() (bypass, buffered int64) {
 	return s.bypassFlits, s.bufferedFlits
 }
 
+// ForwardedFlits returns the number of flits forwarded out of an input
+// stage at an intermediate router (injections and ejections excluded). For
+// the central-buffer scheme this always equals bypass+buffered — the
+// conservation invariant pinned by TestFlitConservation.
+func (s *Sim) ForwardedFlits() int64 { return s.forwardedFlits }
+
 // Paths lazily builds all-pairs shortest paths (used by adaptive policies).
 func (s *Sim) Paths() *routing.Paths {
 	if s.paths == nil {
@@ -432,17 +605,23 @@ func (s *Sim) Paths() *routing.Paths {
 	return s.paths
 }
 
+// MinRoutes returns a deterministically memoized route table of the
+// network's BFS-minimal paths (lowest-index tie-break, identical to
+// Paths().MinPath). Adaptive policies borrow their candidate paths from it
+// instead of rebuilding slices per packet. Single-goroutine, like Sim.
+func (s *Sim) MinRoutes() *routing.RouteTable {
+	if s.minTab == nil {
+		s.minTab = routing.NewMemoTable(s.net.Nr,
+			&routing.MinimalRouting{P: s.Paths(), VCs: s.cfg.VCs})
+	}
+	return s.minTab
+}
+
 // LinkOccupancy returns the current flit occupancy of the directed link from
 // router a toward router b (UGAL congestion signal), or 0 if absent.
 func (s *Sim) LinkOccupancy(a, b int) int {
-	pos := -1
-	for i, nb := range s.net.Adj[a] {
-		if nb == b {
-			pos = i
-			break
-		}
-	}
-	if pos < 0 {
+	pos, ok := s.portTowardOK(a, b)
+	if !ok {
 		return 0
 	}
 	return s.links[s.routers[a].outLink[pos]].occupancy
@@ -502,17 +681,12 @@ func (s *Sim) RunContext(ctx context.Context, every int64, onProgress func(Progr
 				})
 			}
 		}
-		s.stepGenerate()
-		s.stepCredits()
-		s.flushEjections()
-		s.stepLinks()
-		s.stepRouters()
-		s.stepInject()
+		s.step()
 	}
 	stop := s.now
 	// Account for ejections still completing their final router traversal.
 	s.now = stop + routerDelayDirect
-	s.flushEjections()
+	s.flushAllEjections(stop)
 	s.now = stop
 	res := &s.Result
 	res.Cycles = stop
@@ -546,28 +720,38 @@ func (s *Sim) RunContext(ctx context.Context, every int64, onProgress func(Progr
 	return *res, runErr
 }
 
-func percentile(xs []int64, p float64) float64 {
-	// Partial selection via simple sort copy; stats are small.
-	cp := append([]int64(nil), xs...)
-	// insertion-free: use sort from stdlib
-	sortInt64s(cp)
-	idx := int(p * float64(len(cp)-1))
-	return float64(cp[idx])
+// step advances the simulation by one cycle. The phase order matches the
+// original full-scan engine exactly; only the iteration strategy changed.
+func (s *Sim) step() {
+	s.stepGenerate()
+	s.stepCredits()
+	s.flushEjections()
+	s.stepLinks()
+	s.stepRouters()
+	s.stepInject()
+	// Occupancy telemetry, sampled at end of cycle.
+	s.eng.cycles++
+	s.eng.routerSum += int64(s.activeRouters.size())
+	s.eng.linkSum += int64(s.activeLinks.size())
+	s.eng.nicSum += int64(s.activeNICs.size())
+	if n := s.activeRouters.size(); n > s.eng.routerPeak {
+		s.eng.routerPeak = n
+	}
+	if n := s.activeLinks.size(); n > s.eng.linkPeak {
+		s.eng.linkPeak = n
+	}
+	if n := s.activeNICs.size(); n > s.eng.nicPeak {
+		s.eng.nicPeak = n
+	}
 }
 
-func sortInt64s(xs []int64) {
-	// Shell sort: avoids pulling in sort for a hot-free path.
-	n := len(xs)
-	for gap := n / 2; gap > 0; gap /= 2 {
-		for i := gap; i < n; i++ {
-			tmp := xs[i]
-			j := i
-			for ; j >= gap && xs[j-gap] > tmp; j -= gap {
-				xs[j] = xs[j-gap]
-			}
-			xs[j] = tmp
-		}
-	}
+// percentile reports the p-quantile of xs by nearest-rank on the sorted
+// samples. It sorts xs in place: callers pass the run's latency buffer,
+// which is not consulted again afterwards.
+func percentile(xs []int64, p float64) float64 {
+	slices.Sort(xs)
+	idx := int(p * float64(len(xs)-1))
+	return float64(xs[idx])
 }
 
 // stepGenerate invokes the traffic source and enqueues new packets on source
@@ -578,10 +762,33 @@ func (s *Sim) stepGenerate() {
 	if s.now >= s.cfg.WarmupCycles+s.cfg.MeasureCycles {
 		return
 	}
-	measuring := s.now >= s.cfg.WarmupCycles
-	s.cfg.Traffic.Generate(s.now, s.rng, func(src, dst, flits, class int) {
-		s.enqueuePacket(src, dst, flits, class, measuring)
-	})
+	s.cfg.Traffic.Generate(s.now, s.rng, s.genEmit)
+}
+
+// allocPacket takes a packet from the freelist (or allocates one) and
+// assigns its ID.
+func (s *Sim) allocPacket() *packet {
+	var p *packet
+	if n := len(s.pktPool); n > 0 {
+		p = s.pktPool[n-1]
+		s.pktPool[n-1] = nil
+		s.pktPool = s.pktPool[:n-1]
+		s.eng.pktReuses++
+	} else {
+		p = &packet{}
+		s.eng.pktAllocs++
+	}
+	p.id = s.nextPktID
+	s.nextPktID++
+	p.flitsMoved = 0
+	return p
+}
+
+// freePacket recycles a fully ejected packet. Borrowed route views are
+// dropped; the packet-owned buffers keep their capacity for reuse.
+func (s *Sim) freePacket(p *packet) {
+	p.path, p.vcs = nil, nil
+	s.pktPool = append(s.pktPool, p)
 }
 
 func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
@@ -590,103 +797,109 @@ func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 	}
 	srcR := s.net.NodeRouter(src)
 	dstR := s.net.NodeRouter(dst)
-	var path []int
-	var vcs []int
+	p := s.allocPacket()
+	p.src, p.dst = src, dst
+	p.flits, p.class = flits, class
+	p.genTime, p.tracked = s.now, tracked
 	if s.cfg.Adaptive != nil {
-		path, vcs = s.cfg.Adaptive.Choose(s, s.rng, srcR, dstR)
+		path, vcs := s.cfg.Adaptive.Choose(s, s.rng, srcR, dstR)
+		p.pathBuf = p.pathBuf[:0]
+		for _, r := range path {
+			p.pathBuf = append(p.pathBuf, int32(r))
+		}
+		p.path = p.pathBuf
+		p.vcsBuf = p.vcsBuf[:0]
+		for _, v := range vcs {
+			p.vcsBuf = append(p.vcsBuf, uint8(v))
+		}
+		p.vcs = p.vcsBuf
 	} else {
-		path, vcs = s.cfg.Routing.Route(srcR, dstR)
+		p.path, p.vcs = s.table.Route(srcR, dstR)
 	}
-	p := &packet{
-		id:      s.nextPktID,
-		src:     src,
-		dst:     dst,
-		flits:   flits,
-		class:   class,
-		genTime: s.now,
-		tracked: tracked,
-	}
-	s.nextPktID++
-	p.path = make([]int32, len(path))
-	for i, r := range path {
-		p.path[i] = int32(r)
-	}
-	p.vcs = make([]uint8, len(vcs))
-	for i, v := range vcs {
-		p.vcs[i] = uint8(v)
+	if s.cfg.Scheme == CentralBuffer {
+		// Reset the per-hop bypass decisions, reusing capacity.
+		if cap(p.cbState) < len(p.path) {
+			p.cbState = make([]uint8, len(p.path))
+		} else {
+			p.cbState = p.cbState[:len(p.path)]
+			clear(p.cbState)
+		}
 	}
 	if tracked {
 		s.genMeasured++
 	}
-	s.nics[src].srcQ = append(s.nics[src].srcQ, p)
+	s.nics[src].srcQ.push(p)
+	s.activeNICs.add(src)
 }
 
-// stepCredits applies due credit returns.
+// stepCredits applies the credit returns due this cycle.
 func (s *Sim) stepCredits() {
-	out := s.credits[:0]
-	for _, ev := range s.credits {
-		if ev.at <= s.now {
-			s.routers[ev.router].credits[ev.port][ev.vc]++
-		} else {
-			out = append(out, ev)
-		}
+	evs := s.creditWheel.take(s.now)
+	for _, ev := range evs {
+		s.routers[ev.router].credits[ev.port][ev.vc]++
 	}
-	s.credits = out
 }
 
 // stepLinks delivers arrived flits into input buffers (or CB staging), one
-// VC lane at a time (ElastiStore-style independent per-VC handshakes).
+// VC lane at a time (ElastiStore-style independent per-VC handshakes). Only
+// links carrying flits are visited.
 func (s *Sim) stepLinks() {
-	for li := range s.links {
+	s.activeLinks.forEachSorted(func(li int) bool {
 		l := &s.links[li]
-		for vc := range l.inflight {
-			lane := l.inflight[vc]
-			for len(lane) > 0 && lane[0].arrive <= s.now {
-				f := lane[0].f
+		for vc := range l.lanes {
+			lane := &l.lanes[vc]
+			for lane.len() > 0 {
+				lf := lane.front()
+				if lf.arrive > s.now {
+					break
+				}
 				in := &s.routers[l.to].in[l.toPort][vc]
 				if s.cfg.Scheme != EdgeBuffers && in.q.len() >= in.cap {
 					break // elastic backpressure: flit waits in the pipeline
 				}
-				in.q.push(f)
-				lane = lane[1:]
+				in.q.push(lf.f)
+				lane.pop()
+				l.pending--
 				l.perVCInFly[vc]--
+				s.routerGainsFlit(l.to)
 			}
-			if len(lane) == 0 {
-				lane = nil
-			}
-			l.inflight[vc] = lane
 		}
-	}
+		return l.pending > 0
+	})
+}
+
+// routerGainsFlit accounts a flit arriving at router r and wakes it.
+func (s *Sim) routerGainsFlit(r int) {
+	s.routers[r].work++
+	s.activeRouters.add(r)
 }
 
 // stepInject moves flits from source queues into NIC injection buffers.
+// Only NICs with queued packets are visited.
 func (s *Sim) stepInject() {
-	for v := range s.nics {
+	s.activeNICs.forEachSorted(func(v int) bool {
 		nc := &s.nics[v]
-		for len(nc.srcQ) > 0 {
-			p := nc.srcQ[0]
-			// Move remaining flits of the head packet while space lasts;
-			// track progress via a per-packet counter stored in class-free
-			// space: use idx of next flit = p.flitsMoved.
+		for nc.srcQ.len() > 0 {
+			p := nc.srcQ.front()
+			// Move remaining flits of the head packet while space lasts.
 			moved := false
 			for p.flitsMoved < p.flits && nc.injQ.len() < nc.injCap {
 				s.flitCountInjected(p)
 				nc.injQ.push(flit{pkt: p, idx: int32(p.flitsMoved), hop: 0})
 				p.flitsMoved++
 				moved = true
+				s.routerGainsFlit(s.net.NodeRouter(v))
 			}
 			if p.flitsMoved == p.flits {
-				nc.srcQ = nc.srcQ[1:]
-				if len(nc.srcQ) == 0 {
-					nc.srcQ = nil
-				}
+				nc.srcQ.pop()
 				continue
 			}
 			if !moved {
 				break
 			}
 		}
-	}
+		return nc.srcQ.len() > 0
+	})
 }
 
 func (s *Sim) flitCountInjected(p *packet) {
@@ -711,8 +924,7 @@ func (s *Sim) eject(f flit) {
 			s.totalHops += int64(len(p.path) - 1)
 			s.hopPackets++
 		}
-		s.cfg.Traffic.OnDelivered(s.now, p.src, p.dst, p.flits, p.class, func(src, dst, flits, class int) {
-			s.enqueuePacket(src, dst, flits, class, false)
-		})
+		s.cfg.Traffic.OnDelivered(s.now, p.src, p.dst, p.flits, p.class, s.replyEmit)
+		s.freePacket(p)
 	}
 }

@@ -431,6 +431,32 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// TestVCCountValidation: VC counts that would overflow the uint8 per-hop
+// assignment (and the historical 6-bit central-buffer key packing) must be
+// rejected at construction, not silently collide.
+func TestVCCountValidation(t *testing.T) {
+	net := snNetwork(t, 3, 3, core.LayoutSubgroup)
+	mk := func(vcs int) error {
+		_, err := sim.New(sim.Config{
+			Net:     net,
+			Routing: minRouting(t, net, 2),
+			VCs:     vcs,
+			Traffic: &traffic.Synthetic{N: net.N(), Rate: 0.1, PacketFlits: 6,
+				Pattern: traffic.Uniform{N: net.N()}},
+		})
+		return err
+	}
+	if err := mk(64); err == nil {
+		t.Error("VCs = 64 must be rejected")
+	}
+	if err := mk(-1); err == nil {
+		t.Error("negative VCs must be rejected")
+	}
+	if err := mk(63); err != nil {
+		t.Errorf("VCs = 63 should be accepted: %v", err)
+	}
+}
+
 // TestCBRPathStats: at near-zero load almost all flits take the bypass
 // path; at saturating load a substantial share is buffered.
 func TestCBRPathStats(t *testing.T) {

@@ -1,0 +1,158 @@
+// Command benchjson converts `go test -bench` output into the JSON schema
+// of BENCH_sim.json, the repository's simulator performance record. CI runs
+// BenchmarkEngine and BenchmarkCampaign on every PR and uploads the
+// rendered file as an artifact, seeding the perf trajectory across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkEngine|BenchmarkCampaign' -benchmem . | tee bench.txt
+//	go run ./internal/tools/benchjson [-baseline old_bench.txt] bench.txt > BENCH_sim.json
+//
+// With -baseline, benchmarks present in both files additionally report the
+// baseline ns/op and the speedup factor (baseline/current).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	// BaselineNsPerOp/Speedup are present only when -baseline was given
+	// and contained this benchmark.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// Report is the top-level BENCH_sim.json document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "bench output file to compute speedups against")
+	flag.Parse()
+
+	var rep Report
+	if flag.NArg() == 0 {
+		parseInto(&rep, os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		parseInto(&rep, f)
+		f.Close()
+	}
+
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base Report
+		parseInto(&base, f)
+		f.Close()
+		byName := make(map[string]Benchmark, len(base.Benchmarks))
+		for _, b := range base.Benchmarks {
+			byName[b.Name] = b
+		}
+		for i := range rep.Benchmarks {
+			b := &rep.Benchmarks[i]
+			old, ok := byName[b.Name]
+			if !ok {
+				continue
+			}
+			baseNs, cur := old.Metrics["ns/op"], b.Metrics["ns/op"]
+			if baseNs > 0 && cur > 0 {
+				b.BaselineNsPerOp = baseNs
+				b.Speedup = baseNs / cur
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// parseInto consumes one `go test -bench` output stream.
+func parseInto(rep *Report, r io.Reader) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       trimProcSuffix(fields[0]),
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		// The remainder is "value unit" pairs (ns/op, B/op, allocs/op, and
+		// any ReportMetric extras).
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS marker (BenchmarkFoo-8 ->
+// BenchmarkFoo) so results compare across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

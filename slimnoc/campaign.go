@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/routing"
@@ -195,12 +196,23 @@ type netCacheEntry struct {
 	err  error
 }
 
+// tableCacheEntry memoizes one compiled route table.
+type tableCacheEntry struct {
+	once sync.Once
+	tab  *routing.RouteTable
+	err  error
+}
+
 // netCache builds each distinct (expanded) NetworkSpec once per Run and
 // shares the resulting Network read-only across workers — sim.New and
-// Runner.Run never mutate a supplied network (see WithNetwork).
+// Runner.Run never mutate a supplied network (see WithNetwork). It likewise
+// compiles each distinct (network, static routing algorithm, VCs)
+// combination into one immutable routing.RouteTable shared by every point
+// using it (see WithRouteTable).
 type netCache struct {
 	mu      sync.Mutex
 	entries map[string]*netCacheEntry
+	tables  map[string]*tableCacheEntry
 }
 
 // get returns the shared network for ns, building it at most once.
@@ -220,6 +232,32 @@ func (nc *netCache) get(ns NetworkSpec) (*Network, routing.Kind, error) {
 		e.net, e.kind, e.err = BuildNetwork(ns)
 	})
 	return e.net, e.kind, e.err
+}
+
+// table returns the shared compiled route table for a static routing
+// algorithm on the spec's network, compiling it at most once per
+// (network, algorithm, VCs) combination.
+func (nc *netCache) table(ns NetworkSpec, algorithm string, vcs int) (*routing.RouteTable, error) {
+	net, kind, err := nc.get(ns)
+	if err != nil {
+		return nil, err
+	}
+	key, err := networkKey(ns)
+	if err != nil {
+		return nil, err
+	}
+	tkey := fmt.Sprintf("%s\x00%s\x00%d", key, strings.ToLower(algorithm), vcs)
+	nc.mu.Lock()
+	e, ok := nc.tables[tkey]
+	if !ok {
+		e = &tableCacheEntry{}
+		nc.tables[tkey] = e
+	}
+	nc.mu.Unlock()
+	e.once.Do(func() {
+		e.tab, e.err = CompileRouteTable(net, kind, algorithm, vcs)
+	})
+	return e.tab, e.err
 }
 
 // networkKey canonicalizes a NetworkSpec: presets expand first so a preset
@@ -259,7 +297,10 @@ func (c *Campaign) Run(ctx context.Context, points []RunSpec) ([]PointResult, er
 		jobs = 1
 	}
 
-	cache := &netCache{entries: make(map[string]*netCacheEntry)}
+	cache := &netCache{
+		entries: make(map[string]*netCacheEntry),
+		tables:  make(map[string]*tableCacheEntry),
+	}
 	idxCh := make(chan int)
 	var emitMu sync.Mutex
 	var wg sync.WaitGroup
@@ -316,8 +357,19 @@ dispatch:
 func (c *Campaign) runPoint(ctx context.Context, i int, spec RunSpec, cache *netCache) (*Result, error) {
 	net, kind, err := cache.get(spec.Network)
 	opts := make([]Option, 0, 4)
+	var cachedTab *routing.RouteTable
 	if err == nil {
 		opts = append(opts, WithNetwork(net, kind))
+		// Static routing compiles once per (network, algorithm, VCs) and is
+		// shared read-only by every point using it. Compile errors are left
+		// for Runner.Run to rediscover and report; adaptive algorithms
+		// route per packet and have no compiled form.
+		if re, ok := routings.lookup(spec.Routing.Algorithm); ok && !re.Adaptive {
+			if tab, terr := cache.table(spec.Network, spec.Routing.Algorithm, spec.Routing.VCs); terr == nil {
+				cachedTab = tab
+				opts = append(opts, WithRouteTable(tab))
+			}
+		}
 	}
 	// A network the cache cannot build may still come from the point
 	// options (WithNetwork); defer the error until after they apply.
@@ -327,6 +379,12 @@ func (c *Campaign) runPoint(ctx context.Context, i int, spec RunSpec, cache *net
 	r := NewRunner(spec, opts...)
 	if !r.haveNet && err != nil {
 		return nil, err
+	}
+	// Point options may have replaced the network; the cache's table was
+	// compiled for the cached network and must not ride along onto a
+	// different one.
+	if r.table == cachedTab && cachedTab != nil && r.net != net {
+		r.table = nil
 	}
 	return r.Run(ctx)
 }

@@ -28,10 +28,13 @@
 // patterns, schemes, VC counts, loads, seeds) that expand into a
 // deterministic cartesian product of RunSpecs, and a Campaign executes them
 // on a worker pool — each distinct network built once and shared read-only,
-// per-point seeds fixed at expansion time (DeriveSeed) so results are
-// byte-identical at any job count, results streaming to pluggable Sinks
-// (Collector, NewJSONLSink, NewCSVSink) as points complete, and context
-// cancellation returning the partial result set:
+// each distinct (network, static routing, VCs) combination compiled once
+// into an immutable RouteTable shared the same way (CompileRouteTable /
+// WithRouteTable expose this to direct Runner use), per-point seeds fixed
+// at expansion time (DeriveSeed) so results are byte-identical at any job
+// count, results streaming to pluggable Sinks (Collector, NewJSONLSink,
+// NewCSVSink) as points complete, and context cancellation returning the
+// partial result set:
 //
 //	sweep, _ := slimnoc.LoadSweep("sweep.json")
 //	results, err := slimnoc.NewCampaign(slimnoc.WithJobs(8)).RunSweep(ctx, sweep)

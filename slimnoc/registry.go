@@ -72,6 +72,11 @@ type RoutingFactory func(net *topo.Network, kind routing.Kind, vcs int) (routing
 type RoutingEntry struct {
 	New     RoutingFactory
 	Section string
+	// Adaptive marks algorithms that route per packet from live network
+	// state. Static algorithms compile to an immutable routing.RouteTable
+	// that campaigns share across every point with the same
+	// (network, algorithm, VCs) combination; adaptive ones cannot.
+	Adaptive bool
 }
 
 // TrafficFactory builds a traffic source for a placed network.
@@ -462,19 +467,22 @@ func init() {
 		New: adaptiveRouting(func(vcs int) sim.AdaptivePolicy {
 			return &sim.UGAL{Global: false, VCs: vcs}
 		}),
-		Section: "§6, Fig. 20 (UGAL, local congestion knowledge)",
+		Section:  "§6, Fig. 20 (UGAL, local congestion knowledge)",
+		Adaptive: true,
 	})
 	RegisterRouting("ugal-g", RoutingEntry{
 		New: adaptiveRouting(func(vcs int) sim.AdaptivePolicy {
 			return &sim.UGAL{Global: true, VCs: vcs}
 		}),
-		Section: "§6, Fig. 20 (UGAL, global congestion knowledge)",
+		Section:  "§6, Fig. 20 (UGAL, global congestion knowledge)",
+		Adaptive: true,
 	})
 	RegisterRouting("min-adapt", RoutingEntry{
 		New: adaptiveRouting(func(vcs int) sim.AdaptivePolicy {
 			return &sim.MinAdaptive{VCs: vcs}
 		}),
-		Section: "§6, Fig. 20 (minimal adaptive, XY-ADAPT analogue)",
+		Section:  "§6, Fig. 20 (minimal adaptive, XY-ADAPT analogue)",
+		Adaptive: true,
 	})
 
 	RegisterScheme("eb", SchemeEntry{

@@ -32,6 +32,16 @@ type Kind = routing.Kind
 // routing.PathBuilder.
 type PathBuilder = routing.PathBuilder
 
+// RouteTable is the compiled, interned form of a static routing algorithm;
+// see routing.RouteTable. Tables built by CompileRouteTable are immutable
+// and safe to share across concurrent runs.
+type RouteTable = routing.RouteTable
+
+// EngineStats is the simulator-core telemetry block attached to every
+// Result: freelist behaviour, active-set occupancy and timing-wheel depth;
+// see sim.EngineStats.
+type EngineStats = sim.EngineStats
+
 // Topology classes understood by the "auto" routing algorithm, re-exported
 // for custom TopologyBuilder implementations.
 const (
@@ -53,6 +63,7 @@ type Runner struct {
 
 	source        sim.Source
 	policy        sim.AdaptivePolicy
+	table         *routing.RouteTable
 	bufCap        func(dist int) int
 	progress      func(Progress)
 	progressEvery int64
@@ -70,6 +81,20 @@ type Option func(*Runner)
 // once it is shared.
 func WithNetwork(net *Network, kind routing.Kind) Option {
 	return func(r *Runner) { r.net, r.kind, r.haveNet = net, kind, true }
+}
+
+// WithRouteTable supplies a precompiled route table for the spec's static
+// routing algorithm, skipping per-run path-builder construction and route
+// compilation. The table must come from CompileRouteTable (or
+// routing.Compile) for the same network, algorithm and VC count as the
+// spec. Compiled tables are immutable, so one table may back any number of
+// concurrent Runners — the Campaign engine shares one per distinct
+// (network, routing, VCs) combination, and
+// TestCampaignSharedRouteTableRace pins the contract under -race. The
+// table is ignored when the spec names an adaptive algorithm or a
+// WithAdaptivePolicy override is installed, since those route per packet.
+func WithRouteTable(t *RouteTable) Option {
+	return func(r *Runner) { r.table = t }
 }
 
 // WithSource overrides the traffic section of the spec with a custom
@@ -136,12 +161,14 @@ type Metrics struct {
 }
 
 // Result is the outcome of one run: the spec that produced it, the network
-// it ran on, and the measured metrics. Raw carries the unwrapped simulator
-// result for callers layered below the facade.
+// it ran on, the measured metrics, and the engine telemetry (allocation
+// behaviour, active-set occupancy, timing-wheel depth). Raw carries the
+// unwrapped simulator result for callers layered below the facade.
 type Result struct {
 	Spec    RunSpec     `json:"spec"`
 	Network NetworkInfo `json:"network"`
 	Metrics Metrics     `json:"metrics"`
+	Engine  EngineStats `json:"engine"`
 	Raw     sim.Result  `json:"-"`
 }
 
@@ -175,9 +202,17 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("slimnoc: unknown routing algorithm %q (have %s)",
 			spec.Routing.Algorithm, strings.Join(Routings(), ", "))
 	}
-	pb, policy, err := re.New(net, kind, vcs)
-	if err != nil {
-		return nil, err
+	var pb routing.PathBuilder
+	var policy sim.AdaptivePolicy
+	var table *routing.RouteTable
+	if r.table != nil && !re.Adaptive && r.policy == nil {
+		// A shared compiled table stands in for the per-run path builder.
+		table = r.table
+	} else {
+		pb, policy, err = re.New(net, kind, vcs)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if r.policy != nil {
 		policy = r.policy
@@ -212,6 +247,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	cfg := sim.Config{
 		Net:           net,
 		Routing:       pb,
+		Table:         table,
 		VCs:           vcs,
 		Scheme:        sc.Scheme,
 		EdgeBufCap:    sc.BufCap,
@@ -235,9 +271,30 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		Spec:    spec,
 		Network: networkInfo(net),
 		Metrics: metricsOf(raw, net.CycleTimeNs),
+		Engine:  s.EngineStats(),
 		Raw:     raw,
 	}
 	return res, runErr
+}
+
+// CompileRouteTable builds the immutable compiled route table for a static
+// routing algorithm on an already built network. The result is safe to
+// share across concurrent runs via WithRouteTable. Adaptive algorithms
+// (RoutingEntry.Adaptive) have no compiled form and are rejected.
+func CompileRouteTable(net *Network, kind Kind, algorithm string, vcs int) (*RouteTable, error) {
+	re, ok := routings.lookup(algorithm)
+	if !ok {
+		return nil, fmt.Errorf("slimnoc: unknown routing algorithm %q (have %s)",
+			algorithm, strings.Join(Routings(), ", "))
+	}
+	if re.Adaptive {
+		return nil, fmt.Errorf("slimnoc: adaptive algorithm %q routes per packet and cannot be compiled", algorithm)
+	}
+	pb, _, err := re.New(net, kind, vcs)
+	if err != nil {
+		return nil, err
+	}
+	return routing.Compile(net.Nr, pb)
 }
 
 // Run builds a Runner for the spec and executes it.
