@@ -6,8 +6,12 @@
 // layouts / routing algorithms / traffic patterns / buffering schemes, a
 // context-aware Runner with streaming progress, and a parallel Campaign
 // engine that executes whole evaluation grids with deterministic per-point
-// seeds. Start there (and with README.md, which maps every registry name to
-// its paper section).
+// seeds. Campaigns are restartable: slimnoc/store is a content-addressed
+// JSONL result store (points keyed by the hash of their expanded spec plus
+// the engine version), and a Campaign with WithStore skips stored points
+// and durably appends fresh ones, so an interrupted sweep resumes
+// byte-identically. Start there (and with README.md, which maps every
+// registry name to its paper section).
 //
 // The implementation lives under internal/: the Slim NoC construction and
 // layout models in internal/core, the finite fields in internal/gf, the
@@ -16,9 +20,12 @@
 // allocation-free), the static-route compiler in internal/routing (whose
 // RouteTable interns per-pair paths that packets borrow and campaigns
 // share), the DSENT-substitute power models in internal/power, and the
-// per-figure experiment harness in internal/exp. The root package holds
-// the benchmark harness (bench_test.go) that regenerates every table and
-// figure of the paper's evaluation plus the engine/campaign performance
-// benchmarks recorded in BENCH_sim.json; run `go run ./cmd/snexp -list`
-// for the experiment index.
+// per-figure experiment harness in internal/exp — which also carries the
+// reproduction manifest mapping every figure to its declarative sweeps
+// (consumed by cmd/snrepro, the resumable paper-reproduction driver; see
+// docs/REPRODUCING.md). The root package holds the benchmark harness
+// (bench_test.go) that regenerates every table and figure of the paper's
+// evaluation plus the engine/campaign performance benchmarks recorded in
+// BENCH_sim.json; run `go run ./cmd/snexp -list` for the experiment index
+// and `go run ./cmd/snrepro -list` for the reproducible-figure manifest.
 package repro

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/slimnoc"
+	"repro/slimnoc/store"
+)
+
+// manifestOptions are the quick-mode options the manifest tests expand
+// under; tiny explicit cycles keep the end-to-end test fast.
+func manifestOptions() Options {
+	return Options{Quick: true, Seed: 3, Jobs: 2,
+		WarmupCycles: 100, MeasureCycles: 300, DrainCycles: 600}
+}
+
+// TestManifestExpandsAndValidates expands every manifest sweep: every
+// non-analytic figure must contribute at least one grid whose points all
+// validate, IDs must be unique, and each must name a registered experiment
+// so `snexp -exp <id>` always works as the derived-table companion.
+func TestManifestExpandsAndValidates(t *testing.T) {
+	for _, quick := range []bool{true, false} {
+		o := manifestOptions()
+		o.Quick = quick
+		seen := map[string]bool{}
+		for _, f := range Manifest(o) {
+			if seen[f.ID] {
+				t.Errorf("duplicate manifest ID %q", f.ID)
+			}
+			seen[f.ID] = true
+			if _, err := ByID(f.ID); err != nil {
+				t.Errorf("manifest ID %q has no experiment-registry entry: %v", f.ID, err)
+			}
+			if f.Analytic {
+				if len(f.Sweeps) != 0 {
+					t.Errorf("%s: analytic figure carries %d sweeps", f.ID, len(f.Sweeps))
+				}
+				continue
+			}
+			if len(f.Sweeps) == 0 {
+				t.Errorf("%s: no sweeps and not analytic", f.ID)
+			}
+			for _, s := range f.Sweeps {
+				points, err := s.Points()
+				if err != nil {
+					t.Errorf("%s sweep %s: %v", f.ID, s.Name, err)
+					continue
+				}
+				if len(points) == 0 {
+					t.Errorf("%s sweep %s: empty grid", f.ID, s.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestManifestDeterministic pins that two Manifest calls with equal options
+// produce identical grids — the property that lets a result store serve a
+// rerun byte-identically.
+func TestManifestDeterministic(t *testing.T) {
+	o := manifestOptions()
+	a, err := json.Marshal(Manifest(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(Manifest(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("Manifest is not deterministic for equal options")
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	o := manifestOptions()
+	f, err := FigureByID("FIG12", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "fig12" {
+		t.Errorf("FigureByID returned %q", f.ID)
+	}
+	if _, err := FigureByID("no-such-fig", o); err == nil {
+		t.Error("unknown figure did not error")
+	}
+	ids := FigureIDs()
+	if len(ids) < 15 {
+		t.Errorf("manifest lists only %d figures", len(ids))
+	}
+}
+
+// TestRunFigureWithStoreRoundTrip reproduces a small manifest figure twice
+// against one store: the warm rerun must simulate nothing and render
+// byte-identical Markdown and CSV reports.
+func TestRunFigureWithStoreRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	o := manifestOptions()
+	fig, err := FigureByID("abl-vcs", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(filepath.Join(t.TempDir(), "store.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	cold, err := RunFigure(context.Background(), fig, o, slimnoc.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cCached, cFresh := cold.CachedCount()
+	if cCached != 0 || cFresh == 0 {
+		t.Fatalf("cold run: %d cached, %d fresh", cCached, cFresh)
+	}
+
+	warm, err := RunFigure(context.Background(), fig, o, slimnoc.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wCached, wFresh := warm.CachedCount()
+	if wFresh != 0 || wCached != cFresh {
+		t.Fatalf("warm run: %d cached, %d fresh; want all %d cached", wCached, wFresh, cFresh)
+	}
+
+	if cold.Markdown() != warm.Markdown() {
+		t.Error("warm Markdown report differs from cold")
+	}
+	if cold.CSV() != warm.CSV() {
+		t.Error("warm CSV report differs from cold")
+	}
+
+	// The reports carry real content: a row per point, parseable CSV.
+	rows, err := csv.NewReader(strings.NewReader(cold.CSV())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != cFresh+1 {
+		t.Errorf("CSV has %d rows, want %d points + header", len(rows), cFresh)
+	}
+	md := cold.Markdown()
+	if !strings.Contains(md, "# abl-vcs") || !strings.Contains(md, "| point |") {
+		t.Errorf("Markdown report missing title or table:\n%s", md)
+	}
+}

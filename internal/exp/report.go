@@ -1,0 +1,162 @@
+// Per-figure reproduction reports: the rendering layer between manifest
+// campaigns and the Markdown/CSV files cmd/snrepro writes under
+// docs/results/. Reports are a pure function of the point results, so a
+// resumed or fully cached rerun emits byte-identical files.
+
+package exp
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/slimnoc"
+)
+
+// FigureRun is the outcome of reproducing one manifest figure: the point
+// results of each of its sweeps, parallel to Figure.Sweeps.
+type FigureRun struct {
+	Figure  Figure
+	Results [][]slimnoc.PointResult
+}
+
+// RunFigure executes every sweep of a manifest figure through one campaign
+// (shared network/route-table caches per sweep; shared result store across
+// everything when the caller attaches one via slimnoc.WithStore). The first
+// campaign-level error — in practice only context cancellation — aborts and
+// returns the partial FigureRun.
+func RunFigure(ctx context.Context, f Figure, o Options, copts ...slimnoc.CampaignOption) (FigureRun, error) {
+	run := FigureRun{Figure: f}
+	campaign := slimnoc.NewCampaign(append([]slimnoc.CampaignOption{slimnoc.WithJobs(o.Jobs)}, copts...)...)
+	for _, sweep := range f.Sweeps {
+		points, err := sweep.Points()
+		if err != nil {
+			return run, err
+		}
+		results, err := campaign.Run(ctx, points)
+		run.Results = append(run.Results, results)
+		if err != nil {
+			return run, err
+		}
+	}
+	return run, nil
+}
+
+// CachedCount returns how many executed points were served from the result
+// store versus simulated fresh.
+func (r FigureRun) CachedCount() (cached, fresh int) {
+	for _, sweep := range r.Results {
+		for _, p := range sweep {
+			if p.Err != nil {
+				continue
+			}
+			if p.Cached {
+				cached++
+			} else {
+				fresh++
+			}
+		}
+	}
+	return cached, fresh
+}
+
+// reportHeader is the per-point column set of figure reports.
+var reportHeader = []string{
+	"point", "network", "pattern", "trace", "scheme", "vcs", "load", "seed",
+	"latency_cycles", "latency_ns", "p99_cycles", "throughput", "avg_hops",
+	"saturated", "error",
+}
+
+// Tables renders one stats.Table per sweep, a row per point in submission
+// order.
+func (r FigureRun) Tables() []*stats.Table {
+	var out []*stats.Table
+	for si, sweep := range r.Figure.Sweeps {
+		t := &stats.Table{
+			ID:     sweep.Name,
+			Title:  fmt.Sprintf("%s (%s), sweep %d/%d", r.Figure.Title, r.Figure.Section, si+1, len(r.Figure.Sweeps)),
+			Header: reportHeader,
+		}
+		if si >= len(r.Results) {
+			out = append(out, t)
+			continue
+		}
+		for _, p := range r.Results[si] {
+			t.AddRow(pointRow(p)...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// pointRow flattens one point result into report cells.
+func pointRow(p slimnoc.PointResult) []string {
+	spec := p.Spec
+	netName := spec.Network.Preset
+	if netName == "" {
+		netName = spec.Network.Topology
+	}
+	row := []string{
+		spec.Name, netName, spec.Traffic.Pattern, spec.Traffic.Trace,
+		spec.Buffering.Scheme, strconv.Itoa(spec.Routing.VCs),
+		strconv.FormatFloat(spec.Traffic.Rate, 'g', -1, 64),
+		strconv.FormatInt(spec.Sim.Seed, 10),
+	}
+	if p.Result != nil {
+		m := p.Result.Metrics
+		row[1] = p.Result.Network.Name
+		row = append(row,
+			fmt.Sprintf("%.4g", m.AvgLatencyCycles),
+			fmt.Sprintf("%.4g", m.AvgLatencyNs),
+			fmt.Sprintf("%.4g", m.P99LatencyCycles),
+			fmt.Sprintf("%.4g", m.Throughput),
+			fmt.Sprintf("%.4g", m.AvgHops),
+			strconv.FormatBool(m.Saturated),
+		)
+	} else {
+		row = append(row, "", "", "", "", "", "")
+	}
+	return append(row, p.Error)
+}
+
+// Markdown renders the figure's full report: title, section, notes, and one
+// pipe table per sweep.
+func (r FigureRun) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n\n", r.Figure.ID, r.Figure.Title)
+	fmt.Fprintf(&b, "Paper reference: %s.\n\n", r.Figure.Section)
+	if r.Figure.Analytic {
+		b.WriteString("This artifact is computed entirely from the analytical models; it has no simulation grid.\n")
+	}
+	if r.Figure.Notes != "" {
+		fmt.Fprintf(&b, "> %s\n\n", r.Figure.Notes)
+	}
+	for _, t := range r.Tables() {
+		b.WriteString(t.Markdown())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders every sweep's points as one CSV document with a leading sweep
+// column. Cells are RFC-4180 quoted, so free-text columns (error messages)
+// never break row alignment.
+func (r FigureRun) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(append([]string{"sweep"}, reportHeader...))
+	for si, sweep := range r.Results {
+		name := ""
+		if si < len(r.Figure.Sweeps) {
+			name = r.Figure.Sweeps[si].Name
+		}
+		for _, p := range sweep {
+			w.Write(append([]string{name}, pointRow(p)...))
+		}
+	}
+	w.Flush()
+	return b.String()
+}

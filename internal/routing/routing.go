@@ -5,6 +5,12 @@
 // its full router path and a per-hop VC assignment chosen so that the
 // network is deadlock-free (ascending VC classes for low-diameter networks,
 // dimension order for meshes, datelines for tori).
+//
+// Static algorithms additionally compile into a RouteTable (table.go): the
+// per-(src,dst) paths and VC assignments are interned once and borrowed by
+// every packet, which removes route construction from the simulation hot
+// path and lets campaigns share one immutable table across concurrent runs
+// of the same (network, algorithm, VC count).
 package routing
 
 import (

@@ -28,6 +28,15 @@ import (
 	"repro/internal/topo"
 )
 
+// EngineVersion identifies the current simulator-core generation for
+// result-store keys. Bump it whenever an engine change alters the metrics a
+// given (spec, seed) produces, so content-addressed result stores
+// (slimnoc/store) never serve results computed by an incompatible engine.
+// Generation 3 is the active-set zero-allocation core with compiled route
+// tables; its outputs are pinned against generation 2 by the golden fixture
+// in testdata/golden_results.json.
+const EngineVersion = "sim-v3"
+
 // BufferScheme selects the router/link storage organisation (§5.1).
 type BufferScheme int
 

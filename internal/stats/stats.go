@@ -169,6 +169,44 @@ func widthAt(widths []int, i, fallback int) int {
 	return fallback
 }
 
+// Markdown renders the table as a GitHub-flavoured Markdown pipe table
+// with a bold title line, for the per-figure reports snrepro writes under
+// docs/results/. Cells containing pipes are escaped, and ragged rows —
+// shorter or longer than the header — are padded out to the widest row so
+// every cell renders (no silent truncation, matching CSV).
+func (t *Table) Markdown() string {
+	ncols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s** — %s\n\n", t.ID, t.Title)
+	esc := func(c string) string { return strings.ReplaceAll(c, "|", "\\|") }
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i := 0; i < ncols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			b.WriteString(" " + esc(c) + " |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	b.WriteString("|")
+	for i := 0; i < ncols; i++ {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
 // CSV renders the table as comma-separated values.
 func (t *Table) CSV() string {
 	var b strings.Builder

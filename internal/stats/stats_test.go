@@ -120,3 +120,24 @@ func TestAddRowFTypes(t *testing.T) {
 		t.Errorf("rows = %v", tb.Rows)
 	}
 }
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{
+		ID:     "fig-x",
+		Title:  "Example",
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow("1", "with|pipe")
+	tab.AddRow("2")           // short row pads to the table width
+	tab.AddRow("3", "x", "y") // wide row extends it — nothing is dropped
+	got := tab.Markdown()
+	want := "**fig-x** — Example\n\n" +
+		"| a | b |  |\n" +
+		"|---|---|---|\n" +
+		"| 1 | with\\|pipe |  |\n" +
+		"| 2 |  |  |\n" +
+		"| 3 | x | y |\n"
+	if got != want {
+		t.Errorf("Markdown =\n%q\nwant\n%q", got, want)
+	}
+}

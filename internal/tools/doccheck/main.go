@@ -1,0 +1,140 @@
+// Command doccheck enforces godoc completeness: every exported identifier
+// in the packages under the given directories must carry a doc comment.
+// CI runs it over slimnoc/ and internal/ so the public facade and the
+// implementation layers stay navigable from `go doc` alone.
+//
+// Usage:
+//
+//	doccheck [dir ...]   (default: slimnoc internal)
+//
+// The exit code is the number of undocumented identifiers (capped at 1),
+// and each one is reported as file:line: <kind> <name>. Struct fields and
+// interface methods are exempt — the type's comment is the documentation
+// unit — as are generated files, test files, and main packages' main().
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"slimnoc", "internal"}
+	}
+	var missing []string
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() && (d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".")) {
+				return filepath.SkipDir
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			m, err := checkFile(path)
+			if err != nil {
+				return err
+			}
+			missing = append(missing, m...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		fmt.Println(m)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", len(missing))
+		os.Exit(1)
+	}
+}
+
+// checkFile reports the undocumented exported identifiers of one file.
+func checkFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s %s", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || (f.Name.Name == "main" && d.Name.Name == "main") {
+				continue
+			}
+			// Methods on unexported receivers are not godoc-visible.
+			if d.Recv != nil && !exportedRecv(d.Recv) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "func", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						// A comment on the grouped decl, the spec line, or a
+						// trailing line comment all count.
+						if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(n.Pos(), kindOf(d.Tok), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(fl *ast.FieldList) bool {
+	if len(fl.List) == 0 {
+		return false
+	}
+	t := fl.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// kindOf names a value declaration for the report line.
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,130 @@
+// Command linkcheck validates the repository-local links of Markdown
+// files: every `[text](target)` whose target is a relative path must
+// resolve to an existing file or directory (anchors and URL schemes are
+// skipped — CI stays hermetic, no network). It exists so documentation
+// reorganisations cannot silently strand README/docs cross-references.
+//
+// Usage:
+//
+//	linkcheck README.md docs
+//
+// Arguments are Markdown files or directories to walk for *.md. Exit code
+// 1 lists every broken link as file:line: target.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches inline Markdown links; images share the syntax.
+var linkPattern = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// codeSpan matches inline code, which may legitimately contain link syntax
+// as literal text and must not be checked.
+var codeSpan = regexp.MustCompile("`[^`]*`")
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	var files []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() && strings.HasPrefix(d.Name(), ".") && path != a {
+				return filepath.SkipDir
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	for _, f := range files {
+		broken += checkFile(f)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports the broken relative links of one Markdown file.
+func checkFile(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	broken := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(nil, 1<<20)
+	line := 0
+	inFence := false
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		// Fenced code blocks hold shell snippets, not navigation.
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		text = codeSpan.ReplaceAllString(text, "``")
+		for _, m := range linkPattern.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: %s\n", path, line, m[1])
+				broken++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+	return broken
+}
+
+// skipTarget reports whether a link target is out of scope: absolute URLs,
+// mail and other schemes, and pure in-page anchors.
+func skipTarget(t string) bool {
+	return strings.Contains(t, "://") ||
+		strings.HasPrefix(t, "mailto:") ||
+		strings.HasPrefix(t, "#")
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/routing"
+	"repro/slimnoc/store"
 )
 
 // PointResult is the outcome of one campaign point. A completed point has
@@ -30,6 +31,10 @@ type PointResult struct {
 	Err    error   `json:"-"`
 	// Error mirrors Err as text for serialized sinks.
 	Error string `json:"error,omitempty"`
+	// Cached marks a point served from an attached result store (WithStore)
+	// instead of simulated. It is deliberately excluded from serialization:
+	// a resumed campaign's sink output stays byte-identical to a cold run's.
+	Cached bool `json:"-"`
 }
 
 // Sink consumes point results as they complete. Emit is always called from
@@ -137,13 +142,17 @@ func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) 
 
 // Campaign executes batches of RunSpecs on a worker pool, building each
 // distinct network once and sharing it read-only across workers. A Campaign
-// is reusable and safe for sequential reuse; one Run call executes at a
-// time per Campaign value.
+// is reusable and safe for sequential reuse — the network and route-table
+// caches live for the Campaign's lifetime, so a figure run as several
+// sequential sweeps builds each distinct network once, not once per sweep.
+// One Run call executes at a time per Campaign value.
 type Campaign struct {
 	jobs      int
 	sinks     []Sink
 	onPoint   func(PointResult)
 	pointOpts func(i int, spec RunSpec) []Option
+	store     *store.Store
+	cache     *netCache
 }
 
 // CampaignOption configures a Campaign.
@@ -174,7 +183,9 @@ func WithOnPoint(fn func(PointResult)) CampaignOption {
 // policies). The returned options are applied after the campaign's own
 // network-cache option, so a WithNetwork here overrides the cache. Options
 // must not share mutable state across points: fn is called concurrently
-// from worker goroutines.
+// from worker goroutines. Because options change what a point computes
+// without changing its spec, a campaign with point options bypasses any
+// attached result store (see WithStore).
 func WithPointOptions(fn func(i int, spec RunSpec) []Option) CampaignOption {
 	return func(c *Campaign) { c.pointOpts = fn }
 }
@@ -203,8 +214,9 @@ type tableCacheEntry struct {
 	err  error
 }
 
-// netCache builds each distinct (expanded) NetworkSpec once per Run and
-// shares the resulting Network read-only across workers — sim.New and
+// netCache builds each distinct (expanded) NetworkSpec once per Campaign —
+// a multi-sweep reproduction reuses one build across sequential Run calls —
+// and shares the resulting Network read-only across workers: sim.New and
 // Runner.Run never mutate a supplied network (see WithNetwork). It likewise
 // compiles each distinct (network, static routing algorithm, VCs)
 // combination into one immutable routing.RouteTable shared by every point
@@ -297,10 +309,15 @@ func (c *Campaign) Run(ctx context.Context, points []RunSpec) ([]PointResult, er
 		jobs = 1
 	}
 
-	cache := &netCache{
-		entries: make(map[string]*netCacheEntry),
-		tables:  make(map[string]*tableCacheEntry),
+	// Lazily created so a zero-value Campaign works like one from
+	// NewCampaign; Run is single-threaded per Campaign value.
+	if c.cache == nil {
+		c.cache = &netCache{
+			entries: make(map[string]*netCacheEntry),
+			tables:  make(map[string]*tableCacheEntry),
+		}
 	}
+	cache := c.cache
 	idxCh := make(chan int)
 	var emitMu sync.Mutex
 	var wg sync.WaitGroup
@@ -310,7 +327,7 @@ func (c *Campaign) Run(ctx context.Context, points []RunSpec) ([]PointResult, er
 			defer wg.Done()
 			for i := range idxCh {
 				p := &results[i]
-				p.Result, p.Err = c.runPoint(ctx, i, p.Spec, cache)
+				p.Result, p.Cached, p.Err = c.execPoint(ctx, i, p.Spec, cache)
 				if p.Err != nil {
 					p.Error = p.Err.Error()
 				}

@@ -39,6 +39,27 @@
 //	sweep, _ := slimnoc.LoadSweep("sweep.json")
 //	results, err := slimnoc.NewCampaign(slimnoc.WithJobs(8)).RunSweep(ctx, sweep)
 //
+// Campaigns become restartable jobs with a content-addressed result store
+// (WithStore, package slimnoc/store). Every point is addressed by its
+// PointKey — the hash of the canonical-JSON form of its expanded spec plus
+// the engine version — and durably appended to a JSONL store before it is
+// reported, so an interrupted campaign loses at most its in-flight points.
+// The resume contract mirrors the sharing contract of WithNetwork /
+// WithRouteTable: just as shared networks and compiled tables are
+// observationally invisible (results are byte-identical with or without
+// them), a store is too — rerunning a sweep against the store of an
+// interrupted run completes only the missing points and returns a result
+// set byte-identical to an uninterrupted cold run, with served points
+// marked by PointResult.Cached:
+//
+//	st, _ := store.Open("results/store.jsonl")
+//	results, err := slimnoc.NewCampaign(slimnoc.WithStore(st)).RunSweep(ctx, sweep)
+//
+// Because keys hash the full point identity (minus the display label), one
+// store deduplicates identical points across sweeps and figures; because
+// they include sim.EngineVersion, results from an incompatible engine
+// generation are never served.
+//
 // SpecFlags layers the same spec model onto the flag package, giving every
 // command-line binary a shared `-spec run.json` + per-field overrides
 // convention.
