@@ -18,6 +18,7 @@
 //	snrepro -figs fig12,tab5 -store results -out docs/results
 //	snrepro -all -full -jobs 8
 //	snrepro -figs fig12 -short     # quick mode: CI-sized grids and cycles
+//	snrepro -figs sat-nets,sat-schemes,sat-process   # saturation searches
 package main
 
 import (
@@ -72,10 +73,13 @@ func run(list bool, figsFlag string, all bool, storeDir, outDir string, quick bo
 		fmt.Println("Reproducible figures (snrepro -figs <id,...>):")
 		for _, f := range manifest {
 			kind := fmt.Sprintf("%d sweep(s)", len(f.Sweeps))
-			if f.Analytic {
+			switch {
+			case f.Analytic:
 				kind = "analytic"
+			case len(f.Sats) > 0:
+				kind = fmt.Sprintf("%d search(es)", len(f.Sats))
 			}
-			fmt.Printf("  %-10s %-10s %s (%s)\n", f.ID, kind, f.Title, f.Section)
+			fmt.Printf("  %-11s %-11s %s (%s)\n", f.ID, kind, f.Title, f.Section)
 		}
 		return 0
 	}

@@ -12,6 +12,9 @@
 //
 //	snsim -net sn_subgr_200 -pattern rnd -rate 0.06 [-smart] [-scheme cbr]
 //	snsim -net fbf3 -pattern adv1 -rate 0.24 -cycles 20000
+//	snsim -net sn_subgr_200 -rate 0.06 -process burst -burst-len 8 -duty 0.25
+//	snsim -net sn_subgr_200 -rate 0.06 -hotspot-frac 0.2 -size-mix bimodal
+//	snsim -net sn_subgr_200 -process reqreply -window 4
 //	snsim -spec run.json
 //	snsim -net t2d9 -rate 0.12 -save-spec run.json
 //	snsim -sweep sweep.json -jobs 8 -out results.jsonl
@@ -111,7 +114,15 @@ func run(sf *slimnoc.SpecFlags, progress bool, sweepPath string, jobs int, outPa
 	n, m := res.Network, res.Metrics
 	fmt.Printf("network     %s (Nr=%d, N=%d, k'=%d, D=%d, cycle %.1fns)\n",
 		n.Name, n.Routers, n.Nodes, n.NetworkRadix, n.Diameter, n.CycleTimeNs)
-	fmt.Printf("traffic     %s at %.3f flits/node/cycle\n", spec.Traffic.Pattern, spec.Traffic.Rate)
+	desc := spec.Traffic.Pattern
+	if toks := slimnoc.TrafficLabel(spec.Traffic); len(toks) > 0 {
+		desc += " [" + strings.Join(toks, " ") + "]"
+	}
+	if spec.Traffic.Process == "reqreply" {
+		fmt.Printf("traffic     %s closed-loop (load self-throttles; offered below)\n", desc)
+	} else {
+		fmt.Printf("traffic     %s at %.3f flits/node/cycle\n", desc, spec.Traffic.Rate)
+	}
 	fmt.Printf("latency     %.2f cycles (%.1f ns), p99 %.0f cycles\n",
 		m.AvgLatencyCycles, m.AvgLatencyNs, m.P99LatencyCycles)
 	fmt.Printf("throughput  %.4f flits/node/cycle (offered %.4f)\n", m.Throughput, m.OfferedLoad)

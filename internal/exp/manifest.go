@@ -31,6 +31,11 @@ type Figure struct {
 	// variation; points identical across sweeps and figures share one
 	// result-store entry (slimnoc.PointKey ignores labels).
 	Sweeps []slimnoc.SweepSpec
+	// Sats are the figure's saturation-load searches (the sat-* family):
+	// each binary-searches the offered load where the configuration's mean
+	// latency crosses the threshold, reusing the result store so probes are
+	// cached, resumable, and shared with grid sweeps over the same loads.
+	Sats []slimnoc.SaturationSpec
 	// Analytic marks artifacts computed entirely from the analytical
 	// area/power/layout models: they have no simulation grid, and snrepro
 	// defers to `snexp -exp <id>` for them.
@@ -238,6 +243,87 @@ func Manifest(o Options) []Figure {
 		}()},
 	})
 	add(ablSmartHManifest(o))
+	for _, f := range satManifest(o) {
+		add(f)
+	}
+	return figs
+}
+
+// satSearch builds one saturation search with the mode's grid resolution:
+// quick mode coarsens the step and lowers the ceiling so CI-sized runs stay
+// around half a dozen probes, full mode matches the paper's load range.
+func satSearch(o Options, name string, base slimnoc.RunSpec) slimnoc.SaturationSpec {
+	s := slimnoc.SaturationSpec{
+		Name:          name,
+		Base:          base,
+		MinLoad:       0.04,
+		MaxLoad:       0.6,
+		Step:          0.02,
+		LatencyFactor: 3,
+	}
+	if o.Quick {
+		s.MaxLoad, s.Step = 0.44, 0.04
+	}
+	return s
+}
+
+// satManifest builds the sat-* family: saturation load per network, per
+// buffering scheme, and per temporal process, for the Slim NoC against the
+// Table 4 baselines. Searches have no fixed grid to sweep — snrepro runs
+// them through Campaign.SaturationSearch — but their probes live in the same
+// result store as every other point, so a sat figure warms the latency-vs-
+// load figures (and vice versa) wherever loads coincide.
+func satManifest(o Options) []Figure {
+	base := func(preset, pattern string) slimnoc.RunSpec {
+		b := simBase(o)
+		b.SMART = true
+		b.Network = slimnoc.NetworkSpec{Preset: preset}
+		b.Traffic = slimnoc.TrafficSpec{Pattern: pattern}
+		return b
+	}
+
+	var figs []Figure
+
+	nets := []string{"cm3", "t2d3", "fbf3", "pfbf3", "sn_subgr_200"}
+	patterns := []string{"rnd", "adv1"}
+	if o.Quick {
+		patterns = []string{"rnd"}
+	}
+	var netSats []slimnoc.SaturationSpec
+	for _, net := range nets {
+		for _, pat := range patterns {
+			netSats = append(netSats, satSearch(o, fmt.Sprintf("sat-nets/%s/%s", net, pat), base(net, pat)))
+		}
+	}
+	figs = append(figs, Figure{
+		ID: "sat-nets", Title: "Saturation load per network, SN vs Table 4 baselines", Section: "§5.1 / Table 4",
+		Sats:  netSats,
+		Notes: "Threshold: mean latency 3x the zero-load baseline (or the run's own saturation flag).",
+	})
+
+	var schemeSats []slimnoc.SaturationSpec
+	for _, scheme := range []string{"eb", "eb-large", "el", "cbr"} {
+		b := base("sn_subgr_200", "rnd")
+		b.Buffering = slimnoc.BufferingSpec{Scheme: scheme}
+		schemeSats = append(schemeSats, satSearch(o, "sat-schemes/"+scheme, b))
+	}
+	figs = append(figs, Figure{
+		ID: "sat-schemes", Title: "Saturation load per buffering scheme, sn_subgr_200", Section: "§4 / Fig. 11",
+		Sats: schemeSats,
+	})
+
+	var procSats []slimnoc.SaturationSpec
+	for _, proc := range []string{"bernoulli", "burst", "mmpp"} {
+		b := base("sn_subgr_200", "rnd")
+		b.Traffic.Process = proc
+		procSats = append(procSats, satSearch(o, "sat-process/"+proc, b))
+	}
+	figs = append(figs, Figure{
+		ID: "sat-process", Title: "Saturation load per temporal process, sn_subgr_200", Section: "workload decomposition",
+		Sats:  procSats,
+		Notes: "Open-loop processes only: the request-reply closed loop self-throttles and has no load knob to search.",
+	})
+
 	return figs
 }
 

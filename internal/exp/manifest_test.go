@@ -34,8 +34,13 @@ func TestManifestExpandsAndValidates(t *testing.T) {
 				t.Errorf("duplicate manifest ID %q", f.ID)
 			}
 			seen[f.ID] = true
-			if _, err := ByID(f.ID); err != nil {
-				t.Errorf("manifest ID %q has no experiment-registry entry: %v", f.ID, err)
+			if len(f.Sats) == 0 {
+				// Saturation-search figures are snrepro-native: they have no
+				// snexp derived-table companion, so only grid/analytic
+				// figures must pair with an experiment-registry entry.
+				if _, err := ByID(f.ID); err != nil {
+					t.Errorf("manifest ID %q has no experiment-registry entry: %v", f.ID, err)
+				}
 			}
 			if f.Analytic {
 				if len(f.Sweeps) != 0 {
@@ -43,8 +48,8 @@ func TestManifestExpandsAndValidates(t *testing.T) {
 				}
 				continue
 			}
-			if len(f.Sweeps) == 0 {
-				t.Errorf("%s: no sweeps and not analytic", f.ID)
+			if len(f.Sweeps) == 0 && len(f.Sats) == 0 {
+				t.Errorf("%s: no sweeps, no searches, and not analytic", f.ID)
 			}
 			for _, s := range f.Sweeps {
 				points, err := s.Points()
@@ -54,6 +59,11 @@ func TestManifestExpandsAndValidates(t *testing.T) {
 				}
 				if len(points) == 0 {
 					t.Errorf("%s sweep %s: empty grid", f.ID, s.Name)
+				}
+			}
+			for _, s := range f.Sats {
+				if err := s.Validate(); err != nil {
+					t.Errorf("%s search %s: %v", f.ID, s.Name, err)
 				}
 			}
 		}
@@ -151,5 +161,76 @@ func TestRunFigureWithStoreRoundTrip(t *testing.T) {
 	md := cold.Markdown()
 	if !strings.Contains(md, "# abl-vcs") || !strings.Contains(md, "| point |") {
 		t.Errorf("Markdown report missing title or table:\n%s", md)
+	}
+}
+
+// TestRunSatFigureWithStoreRoundTrip exercises the saturation-search figure
+// machinery end to end on a small network: probes persist to the store, the
+// warm rerun simulates nothing, and both report renderings stay
+// byte-identical — the same contract grid figures satisfy.
+func TestRunSatFigureWithStoreRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	o := manifestOptions()
+	fig := Figure{
+		ID: "sat-test", Title: "saturation round trip", Section: "test",
+		Sats: []slimnoc.SaturationSpec{{
+			Name: "sat-test/t2d54/rnd",
+			Base: slimnoc.RunSpec{
+				Network: slimnoc.NetworkSpec{Preset: "t2d54"},
+				Traffic: slimnoc.TrafficSpec{Pattern: "rnd"},
+				Sim:     o.SimSpec(),
+			},
+			MinLoad: 0.05, MaxLoad: 0.45, Step: 0.05, LatencyFactor: 3,
+		}},
+	}
+
+	st, err := store.Open(filepath.Join(t.TempDir(), "store.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	cold, err := RunFigure(context.Background(), fig, o, slimnoc.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cCached, cFresh := cold.CachedCount()
+	if cCached != 0 || cFresh == 0 {
+		t.Fatalf("cold run: %d cached, %d fresh", cCached, cFresh)
+	}
+	if len(cold.Sats) != 1 || len(cold.Sats[0].Probes) != cFresh {
+		t.Fatalf("search results inconsistent: %d sats, CachedCount fresh %d", len(cold.Sats), cFresh)
+	}
+
+	warm, err := RunFigure(context.Background(), fig, o, slimnoc.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wCached, wFresh := warm.CachedCount()
+	if wFresh != 0 || wCached != cFresh {
+		t.Fatalf("warm run: %d cached, %d fresh; want all %d cached", wCached, wFresh, cFresh)
+	}
+	if warm.Sats[0].SaturationLoad != cold.Sats[0].SaturationLoad {
+		t.Errorf("warm saturation load %.3f differs from cold %.3f",
+			warm.Sats[0].SaturationLoad, cold.Sats[0].SaturationLoad)
+	}
+	if cold.Markdown() != warm.Markdown() {
+		t.Error("warm Markdown report differs from cold")
+	}
+	if cold.CSV() != warm.CSV() {
+		t.Error("warm CSV report differs from cold")
+	}
+	md := cold.Markdown()
+	if !strings.Contains(md, "saturation_load") {
+		t.Errorf("Markdown report missing the saturation table:\n%s", md)
+	}
+	rows, err := csv.NewReader(strings.NewReader(cold.CSV())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != cFresh+1 {
+		t.Errorf("CSV has %d rows, want %d probes + header", len(rows), cFresh)
 	}
 }

@@ -17,17 +17,20 @@ import (
 )
 
 // FigureRun is the outcome of reproducing one manifest figure: the point
-// results of each of its sweeps, parallel to Figure.Sweeps.
+// results of each of its sweeps (parallel to Figure.Sweeps) and the results
+// of each of its saturation searches (parallel to Figure.Sats).
 type FigureRun struct {
 	Figure  Figure
 	Results [][]slimnoc.PointResult
+	Sats    []slimnoc.SaturationResult
 }
 
-// RunFigure executes every sweep of a manifest figure through one campaign
-// (shared network/route-table caches per sweep; shared result store across
-// everything when the caller attaches one via slimnoc.WithStore). The first
-// campaign-level error — in practice only context cancellation — aborts and
-// returns the partial FigureRun.
+// RunFigure executes every sweep and saturation search of a manifest figure
+// through one campaign (shared network/route-table caches; shared result
+// store across everything when the caller attaches one via
+// slimnoc.WithStore, so search probes and sweep points deduplicate). The
+// first campaign-level error — in practice only context cancellation —
+// aborts and returns the partial FigureRun.
 func RunFigure(ctx context.Context, f Figure, o Options, copts ...slimnoc.CampaignOption) (FigureRun, error) {
 	run := FigureRun{Figure: f}
 	campaign := slimnoc.NewCampaign(append([]slimnoc.CampaignOption{slimnoc.WithJobs(o.Jobs)}, copts...)...)
@@ -42,30 +45,48 @@ func RunFigure(ctx context.Context, f Figure, o Options, copts ...slimnoc.Campai
 			return run, err
 		}
 	}
+	for _, sat := range f.Sats {
+		res, err := campaign.SaturationSearch(ctx, sat)
+		run.Sats = append(run.Sats, res)
+		if err != nil {
+			return run, err
+		}
+	}
 	return run, nil
 }
 
-// CachedCount returns how many executed points were served from the result
-// store versus simulated fresh.
+// CachedCount returns how many executed points — sweep points and
+// saturation-search probes alike — were served from the result store versus
+// simulated fresh.
 func (r FigureRun) CachedCount() (cached, fresh int) {
+	count := func(p slimnoc.PointResult) {
+		if p.Err != nil {
+			return
+		}
+		if p.Cached {
+			cached++
+		} else {
+			fresh++
+		}
+	}
 	for _, sweep := range r.Results {
 		for _, p := range sweep {
-			if p.Err != nil {
-				continue
-			}
-			if p.Cached {
-				cached++
-			} else {
-				fresh++
-			}
+			count(p)
+		}
+	}
+	for _, sat := range r.Sats {
+		for _, p := range sat.Probes {
+			count(p)
 		}
 	}
 	return cached, fresh
 }
 
-// reportHeader is the per-point column set of figure reports.
+// reportHeader is the per-point column set of figure reports. The process
+// column spells out the temporal process (bernoulli when defaulted) so
+// mixed-workload grids stay distinguishable in the rendered files.
 var reportHeader = []string{
-	"point", "network", "pattern", "trace", "scheme", "vcs", "load", "seed",
+	"point", "network", "pattern", "process", "trace", "scheme", "vcs", "load", "seed",
 	"latency_cycles", "latency_ns", "p99_cycles", "throughput", "avg_hops",
 	"saturated", "error",
 }
@@ -100,7 +121,7 @@ func pointRow(p slimnoc.PointResult) []string {
 		netName = spec.Network.Topology
 	}
 	row := []string{
-		spec.Name, netName, spec.Traffic.Pattern, spec.Traffic.Trace,
+		spec.Name, netName, spec.Traffic.Pattern, slimnoc.DisplayProcess(spec.Traffic), spec.Traffic.Trace,
 		spec.Buffering.Scheme, strconv.Itoa(spec.Routing.VCs),
 		strconv.FormatFloat(spec.Traffic.Rate, 'g', -1, 64),
 		strconv.FormatInt(spec.Sim.Seed, 10),
@@ -122,8 +143,58 @@ func pointRow(p slimnoc.PointResult) []string {
 	return append(row, p.Error)
 }
 
-// Markdown renders the figure's full report: title, section, notes, and one
-// pipe table per sweep.
+// satHeader is the per-search column set of saturation reports.
+var satHeader = []string{
+	"search", "network", "pattern", "process", "scheme",
+	"saturation_load", "threshold_cycles", "base_latency", "probes", "bracket",
+}
+
+// SatTable renders the figure's saturation searches as one summary table
+// (nil when the figure has none). Rows are deterministic for a fixed spec —
+// the search sequence never depends on store state — so warm and cold
+// reports stay byte-identical.
+func (r FigureRun) SatTable() *stats.Table {
+	if len(r.Figure.Sats) == 0 {
+		return nil
+	}
+	t := &stats.Table{
+		ID:     r.Figure.ID + "/saturation",
+		Title:  fmt.Sprintf("%s (%s), saturation searches", r.Figure.Title, r.Figure.Section),
+		Header: satHeader,
+	}
+	for si, spec := range r.Figure.Sats {
+		norm := spec.Normalized()
+		row := []string{
+			spec.Name, norm.Base.Network.Preset, norm.Base.Traffic.Pattern,
+			slimnoc.DisplayProcess(norm.Base.Traffic), norm.Base.Buffering.Scheme,
+		}
+		if si < len(r.Sats) {
+			res := r.Sats[si]
+			bracket := "crossed"
+			switch {
+			case res.AtMin:
+				bracket = "at_min"
+			case res.AtMax:
+				bracket = "at_max"
+			}
+			row = append(row,
+				fmt.Sprintf("%.3f", res.SaturationLoad),
+				fmt.Sprintf("%.4g", res.Threshold),
+				fmt.Sprintf("%.4g", res.BaseLatency),
+				strconv.Itoa(len(res.Probes)),
+				bracket,
+			)
+		} else {
+			row = append(row, "", "", "", "", "")
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Markdown renders the figure's full report: title, section, notes, one
+// pipe table per sweep, and the saturation summary when the figure carries
+// searches.
 func (r FigureRun) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s — %s\n\n", r.Figure.ID, r.Figure.Title)
@@ -138,12 +209,17 @@ func (r FigureRun) Markdown() string {
 		b.WriteString(t.Markdown())
 		b.WriteByte('\n')
 	}
+	if t := r.SatTable(); t != nil {
+		b.WriteString(t.Markdown())
+		b.WriteByte('\n')
+	}
 	return b.String()
 }
 
-// CSV renders every sweep's points as one CSV document with a leading sweep
-// column. Cells are RFC-4180 quoted, so free-text columns (error messages)
-// never break row alignment.
+// CSV renders every sweep's points — and every saturation search's probes —
+// as one CSV document with a leading sweep/search column. Cells are
+// RFC-4180 quoted, so free-text columns (error messages) never break row
+// alignment.
 func (r FigureRun) CSV() string {
 	var b strings.Builder
 	w := csv.NewWriter(&b)
@@ -154,6 +230,15 @@ func (r FigureRun) CSV() string {
 			name = r.Figure.Sweeps[si].Name
 		}
 		for _, p := range sweep {
+			w.Write(append([]string{name}, pointRow(p)...))
+		}
+	}
+	for si, sat := range r.Sats {
+		name := ""
+		if si < len(r.Figure.Sats) {
+			name = r.Figure.Sats[si].Name
+		}
+		for _, p := range sat.Probes {
 			w.Write(append([]string{name}, pointRow(p)...))
 		}
 	}

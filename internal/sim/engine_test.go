@@ -107,6 +107,122 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// onOffSource mirrors traffic.Synthetic with the OnOff bursty process (the
+// traffic package imports sim, so white-box tests re-state the semantics):
+// per-node two-state chain, geometric dwell, injection at rate/duty while on.
+type onOffSource struct {
+	n, flits        int
+	rate, duty      float64
+	exitOn, exitOff float64
+	on              []bool
+}
+
+func newOnOffSource(n int, rate, burstLen, duty float64) *onOffSource {
+	return &onOffSource{
+		n: n, flits: 6, rate: rate, duty: duty,
+		exitOn:  1 / burstLen,
+		exitOff: duty / ((1 - duty) * burstLen),
+		on:      make([]bool, n),
+	}
+}
+
+func (b *onOffSource) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int)) {
+	prob := b.rate / float64(b.flits)
+	for node := 0; node < b.n; node++ {
+		if b.on[node] {
+			if rng.Float64() < b.exitOn {
+				b.on[node] = false
+			}
+		} else if rng.Float64() < b.exitOff {
+			b.on[node] = true
+		}
+		if !b.on[node] || rng.Float64() >= prob/b.duty {
+			continue
+		}
+		for {
+			d := rng.Intn(b.n)
+			if d != node {
+				emit(node, d, b.flits, 0)
+				break
+			}
+		}
+	}
+}
+
+func (b *onOffSource) OnDelivered(t int64, src, dst, flits, class int, emit func(src, dst, flits, class int)) {
+}
+
+// reqReplySource mirrors traffic.ReqReply: a closed loop where every node
+// keeps `window` requests outstanding, each delivered request triggers a
+// data-sized reply, and each delivered reply returns window credit.
+type reqReplySource struct {
+	n, window   int
+	outstanding []int
+}
+
+func (s *reqReplySource) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int)) {
+	if s.outstanding == nil {
+		s.outstanding = make([]int, s.n)
+	}
+	for node := 0; node < s.n; node++ {
+		for s.outstanding[node] < s.window {
+			for {
+				d := rng.Intn(s.n)
+				if d != node {
+					emit(node, d, 2, 1)
+					break
+				}
+			}
+			s.outstanding[node]++
+		}
+	}
+}
+
+func (s *reqReplySource) OnDelivered(t int64, src, dst, flits, class int, emit func(src, dst, flits, class int)) {
+	switch class {
+	case 1:
+		emit(dst, src, 6, 2)
+	case 2:
+		s.outstanding[dst]--
+	}
+}
+
+// TestSteadyStateZeroAllocsWorkloads extends the zero-allocation contract to
+// the new workload shapes: bursty arrivals (idle/active phase churn in the
+// active sets) and the request-reply closed loop (OnDelivered-emitted
+// replies riding the packet freelist through the ejection path). The cycle
+// loop must stay allocation-free under both.
+func TestSteadyStateZeroAllocsWorkloads(t *testing.T) {
+	sources := []struct {
+		name string
+		mk   func(n int) Source
+	}{
+		{"Bursty", func(n int) Source { return newOnOffSource(n, 0.06, 8, 0.25) }},
+		{"ReqReply", func(n int) Source { return &reqReplySource{n: n, window: 4} }},
+	}
+	for _, src := range sources {
+		src := src
+		t.Run(src.name, func(t *testing.T) {
+			s := newEngineSim(t, EdgeBuffers, 0.06)
+			s.cfg.Traffic = src.mk(s.net.N())
+			warm := s.cfg.WarmupCycles + 2000
+			for s.now = 0; s.now < warm; s.now++ {
+				s.step()
+			}
+			allocs := testing.AllocsPerRun(500, func() {
+				s.step()
+				s.now++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state cycle loop allocates %.2f times per cycle, want 0", allocs)
+			}
+			if s.doneMeasured == 0 {
+				t.Fatal("measurement window delivered nothing; test exercised an idle network")
+			}
+		})
+	}
+}
+
 // TestPercentile pins the nearest-rank floor semantics of the latency
 // percentile on known distributions.
 func TestPercentile(t *testing.T) {

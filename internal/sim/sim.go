@@ -103,12 +103,35 @@ type Config struct {
 	DrainCycles   int64
 }
 
-// Source generates traffic. Generate is called once per cycle and emits
-// packets via the callback; class is an opaque tag carried to OnDelivered.
+// Source generates traffic. The contract, which both open-loop (Bernoulli,
+// bursty, modulated) and closed-loop (request-reply, trace) workloads build
+// on:
+//
+//   - Generate is called exactly once per cycle during the warmup and
+//     measurement phases (never during drain) and emits packets via the
+//     callback; class is an opaque tag the engine carries to OnDelivered
+//     unchanged. Packets emitted from Generate during measurement are
+//     latency-tracked.
+//   - OnDelivered is invoked when a packet's tail flit is fully ejected at
+//     its destination — in every phase, drain included — so sources observe
+//     ejections: closed-loop sources return window credit here, and may emit
+//     follow-on packets (replies) via the callback. Reply packets are never
+//     latency-tracked, but their flits count toward the accepted
+//     (Result.Throughput) and offered (Result.OfferedLoad) rates like any
+//     other traffic, which is what makes self-throttling visible in the
+//     accepted-vs-offered gap.
+//   - Sources must be deterministic functions of the supplied RNG stream
+//     (fixed seed => identical injection sequence) and must not allocate
+//     once warm: the steady-state cycle loop is zero-allocation end to end,
+//     sources included (pinned by TestSteadyStateZeroAllocsWorkloads).
+//
+// Both emit callbacks are preallocated per Sim and safe to call any number
+// of times, including zero.
 type Source interface {
 	Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int))
 	// OnDelivered is invoked when a packet is fully ejected; sources may
-	// emit replies (e.g. read responses in trace-driven mode).
+	// emit replies (e.g. read responses in trace-driven mode, or the
+	// data-carrying replies of the request-reply closed loop).
 	OnDelivered(t int64, src, dst, flits, class int, emit func(src, dst, flits, class int))
 }
 
@@ -410,7 +433,12 @@ func (s *Sim) EngineStats() EngineStats {
 	return st
 }
 
-// Result summarises one run.
+// Result summarises one run. Saturation is observable two ways: the
+// Saturated flag (tracked packets left undelivered), and the accepted-vs-
+// offered gap — Throughput counts the flits the network actually ejected
+// per node-cycle while OfferedLoad counts the flits sources injected, so
+// Throughput plateauing below OfferedLoad is the saturation signature the
+// slimnoc SaturationSearch campaign mode keys on alongside mean latency.
 type Result struct {
 	AvgLatency  float64 // cycles, tracked packets
 	P99Latency  float64

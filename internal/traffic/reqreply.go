@@ -1,0 +1,98 @@
+// The closed-loop request-reply source: each node keeps a bounded window of
+// outstanding requests and issues a new one only when a reply returns, so
+// the offered load self-throttles to whatever the network can deliver —
+// the memory-traffic regime of the related crossbar-memory and PIM systems,
+// and the workload that exercises the engine's ejection path hardest.
+
+package traffic
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Message classes carried by ReqReply packets, mirroring the trace package's
+// read/reply convention.
+const (
+	// ClassRequest tags the short control packet a node issues while it has
+	// window credit; its delivery triggers a reply.
+	ClassRequest = 11
+	// ClassReply tags the long data packet sent back to the requester; its
+	// delivery returns one unit of window credit.
+	ClassReply = 12
+)
+
+// ReqReply is a closed-loop source: every node keeps up to Window requests
+// outstanding. Each cycle a node issues requests (short control packets of
+// ReqFlits, destinations drawn from Pattern) until its window is full; when
+// a request is delivered, the destination sends back a reply carrying the
+// data-packet size (ReplyFlits), and the reply's delivery frees one window
+// slot at the requester. There is no injection rate: throughput is set by
+// round-trip latency and Window (the classic latency-bandwidth closed loop),
+// so the source can never over-drive the network into open-loop divergence.
+//
+// Latency statistics track requests (emitted by Generate, so they follow the
+// simulator's warmup/measure windows); replies are engine-level untracked
+// traffic but their flits count toward accepted and offered throughput,
+// exactly like the trace package's read replies.
+type ReqReply struct {
+	N int
+	// Window is the per-node outstanding-request bound W (>= 1).
+	Window int
+	// ReqFlits is the request length (control packet, paper: 2 flits).
+	ReqFlits int
+	// ReplyFlits is the reply length (data packet, paper: 6 flits).
+	ReplyFlits int
+	// Pattern draws request destinations.
+	Pattern Pattern
+
+	// Requests and Replies count the packets emitted so far (telemetry).
+	Requests, Replies int64
+
+	outstanding []int // per-node in-flight request count
+}
+
+var _ sim.Source = (*ReqReply)(nil)
+
+// Generate implements sim.Source: top every node's window up with fresh
+// requests. On the first cycle this emits Window requests per node (the
+// cold-start burst); afterwards it emits one request per reply received, the
+// steady closed-loop state.
+func (s *ReqReply) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int)) {
+	if s.outstanding == nil {
+		s.outstanding = make([]int, s.N)
+	}
+	for node := 0; node < s.N; node++ {
+		for s.outstanding[node] < s.Window {
+			emit(node, s.Pattern.Dest(rng, node), s.ReqFlits, ClassRequest)
+			s.outstanding[node]++
+			s.Requests++
+		}
+	}
+}
+
+// OnDelivered implements sim.Source: a delivered request triggers the reply
+// (data-packet sized, back to the requester), and a delivered reply returns
+// window credit to its destination — the original requester — so Generate
+// issues a replacement next cycle.
+func (s *ReqReply) OnDelivered(t int64, src, dst, flits, class int, emit func(src, dst, flits, class int)) {
+	switch class {
+	case ClassRequest:
+		emit(dst, src, s.ReplyFlits, ClassReply)
+		s.Replies++
+	case ClassReply:
+		if s.outstanding != nil && dst >= 0 && dst < len(s.outstanding) && s.outstanding[dst] > 0 {
+			s.outstanding[dst]--
+		}
+	}
+}
+
+// Outstanding returns node's current in-flight request count (test hook for
+// the window invariant).
+func (s *ReqReply) Outstanding(node int) int {
+	if s.outstanding == nil {
+		return 0
+	}
+	return s.outstanding[node]
+}

@@ -1,8 +1,26 @@
-// Package traffic implements the synthetic traffic patterns of §5.1: uniform
-// random (RND), bit shuffle (SHF), bit reversal (REV), the two adversarial
-// patterns (ADV1, ADV2), and the asymmetric pattern of the Fig. 20 adaptive
-// routing study, together with the open-loop Bernoulli injection process
-// that drives the simulator.
+// Package traffic implements the simulator's workload layer as three
+// orthogonal axes composed by the Synthetic source:
+//
+//   - Pattern (the "where"): the spatial destination distributions of §5.1 —
+//     uniform random (RND), bit shuffle (SHF), bit reversal (REV), the two
+//     adversarial patterns (ADV1, ADV2), the asymmetric pattern of the
+//     Fig. 20 adaptive routing study — plus the Hotspot overlay that
+//     concentrates a fraction of any base pattern's traffic on a few hot
+//     nodes.
+//   - Process (the "when"): the temporal injection process — the paper's
+//     open-loop Bernoulli default, the OnOff bursty process with geometric
+//     burst lengths, and the MMPP-style Modulated process.
+//   - Sizer (the "how much"): the packet-length model — Fixed (the paper's
+//     6-flit packets) or the Bimodal short-control/long-data mix.
+//
+// The ReqReply source sits outside the open-loop composition: it is a
+// closed-loop request-reply workload where each node keeps a bounded window
+// of outstanding requests, so load self-throttles to delivered bandwidth.
+//
+// Every component is a deterministic function of the run's RNG stream, and
+// the default composition (nil Process, nil Sizer) consumes RNG draws in
+// exactly the order the pre-decomposition monolithic source did, so existing
+// specs reproduce byte-identical results.
 package traffic
 
 import (
@@ -51,6 +69,18 @@ func nodeBits(n int) int {
 
 // Shuffle is SHF: the destination ID is the source ID with its bits rotated
 // left by one position; out-of-range results wrap modulo N.
+//
+// Non-power-of-two wrap semantics (deliberate, pinned by
+// TestShuffleNonPowerOfTwoWrap): the rotation operates on
+// ceil(log2(N))-bit IDs, so for N that is not a power of two it can produce
+// values in [N, 2^b). Those are folded back with a plain `% N` rather than
+// being rejected or re-rotated. The fold keeps Dest total (every source
+// has a destination), cheap, and deterministic, at the cost of the folded
+// destinations receiving up to twice the uniform share — an acceptable,
+// documented skew for a pattern whose purpose is structured (non-uniform)
+// stress, and the convention the paper's own simulator inherits from
+// classic k-ary n-cube toolkits. The self-avoidance rule (d == src maps to
+// d+1 mod N) runs after the fold.
 type Shuffle struct {
 	N int
 }
@@ -73,6 +103,9 @@ func (s Shuffle) Dest(rng *rand.Rand, src int) int {
 }
 
 // Reversal is REV: the destination ID is the bit-reversed source ID.
+//
+// Non-power-of-two N uses the same deliberate `% N` fold as Shuffle (see
+// there for the rationale); pinned by TestReversalNonPowerOfTwoWrap.
 type Reversal struct {
 	N int
 }
@@ -185,24 +218,72 @@ func (a Asymmetric) Dest(rng *rand.Rand, src int) int {
 	return d
 }
 
-// Synthetic is an open-loop Bernoulli source: every node independently
-// generates a packet with probability rate/packetFlits per cycle, so the
-// offered load is rate flits/node/cycle.
+// Hotspot overlays any spatial pattern with hot-node concentration: with
+// probability Frac the destination is drawn uniformly from the K hot nodes
+// (nodes 0..K-1, the convention shared with the trace package's "home
+// nodes"), otherwise the base pattern decides — modelling directory homes,
+// locks and reduction roots that focus a share of all traffic on a few
+// endpoints.
+type Hotspot struct {
+	// Frac is the probability a packet targets a hot node, in [0, 1].
+	Frac float64
+	// K is the hot-node count (destinations 0..K-1), >= 1.
+	K int
+	// N is the total node count (self-avoidance wrap bound).
+	N int
+	// Base decides the destinations of the remaining 1-Frac share.
+	Base Pattern
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return "HOT+" + h.Base.Name() }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(rng *rand.Rand, src int) int {
+	if rng.Float64() >= h.Frac {
+		return h.Base.Dest(rng, src)
+	}
+	d := rng.Intn(h.K)
+	if d == src {
+		d = (d + 1) % h.N
+	}
+	return d
+}
+
+// Synthetic is the open-loop composition of the three workload axes: each
+// cycle the temporal Process decides which nodes start a packet at the
+// configured mean load of Rate flits/node/cycle, the spatial Pattern picks
+// each packet's destination, and the Sizer its length. A nil Process is
+// Bernoulli and a nil Sizer is Fixed{PacketFlits} — the paper's §5.1 setup,
+// with the identical RNG draw sequence as the pre-decomposition source.
 type Synthetic struct {
 	N           int
-	Rate        float64 // flits/node/cycle
+	Rate        float64 // flits/node/cycle, mean over the run
 	PacketFlits int
 	Pattern     Pattern
+	// Process reshapes arrivals in time (nil = Bernoulli).
+	Process Process
+	// Sizer draws per-packet lengths (nil = Fixed{PacketFlits}).
+	Sizer Sizer
 }
 
 var _ sim.Source = (*Synthetic)(nil)
 
 // Generate implements sim.Source.
 func (s *Synthetic) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int)) {
-	prob := s.Rate / float64(s.PacketFlits)
+	// Defaults are pinned on first use (not per cycle) so the interface
+	// conversions never allocate inside the steady-state loop.
+	if s.Process == nil {
+		s.Process = Bernoulli{}
+	}
+	if s.Sizer == nil {
+		s.Sizer = Fixed{Flits: s.PacketFlits}
+	}
+	prob := s.Rate / s.Sizer.Mean()
+	s.Process.Begin(t, rng)
 	for node := 0; node < s.N; node++ {
-		if rng.Float64() < prob {
-			emit(node, s.Pattern.Dest(rng, node), s.PacketFlits, 0)
+		if s.Process.Inject(rng, node, prob) {
+			emit(node, s.Pattern.Dest(rng, node), s.Sizer.Draw(rng), 0)
 		}
 	}
 }

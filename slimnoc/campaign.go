@@ -93,7 +93,9 @@ type csvSink struct {
 // CSVHeader is the column set emitted by NewCSVSink, exported so consumers
 // can parse sink output without hard-coding positions.
 var CSVHeader = []string{
-	"index", "name", "network", "pattern", "rate", "vcs", "scheme", "smart",
+	"index", "name", "network", "pattern", "process", "burst_len", "duty",
+	"mod_factor", "mod_period", "hotspot_frac", "hotspot_count", "size_mix",
+	"window", "rate", "vcs", "scheme", "smart",
 	"seed", "avg_latency_cycles", "avg_latency_ns", "p99_latency_cycles",
 	"throughput", "offered_load", "avg_hops", "delivered", "generated",
 	"cycles", "saturated", "error",
@@ -119,9 +121,16 @@ func (s *csvSink) Emit(p PointResult) error {
 		netName = p.Result.Network.Name
 		m = p.Result.Metrics
 	}
+	// Resolved, not raw: a defaulted burst point reports the burst_len the
+	// run actually used (8), never a physically impossible zero.
+	tr := ResolveTraffic(p.Spec.Traffic)
 	row := []string{
 		strconv.Itoa(p.Index), p.Spec.Name, netName,
-		p.Spec.Traffic.Pattern, formatFloat(p.Spec.Traffic.Rate),
+		tr.Pattern, DisplayProcess(tr), formatFloat(tr.BurstLen), formatFloat(tr.Duty),
+		formatFloat(tr.ModFactor), formatFloat(tr.ModPeriod),
+		formatFloat(tr.HotspotFraction), strconv.Itoa(tr.HotspotCount),
+		tr.SizeMix, strconv.Itoa(tr.Window),
+		formatFloat(tr.Rate),
 		strconv.Itoa(p.Spec.Routing.VCs), p.Spec.Buffering.Scheme,
 		strconv.FormatBool(p.Spec.SMART), strconv.FormatInt(p.Spec.Sim.Seed, 10),
 		formatFloat(m.AvgLatencyCycles), formatFloat(m.AvgLatencyNs),
@@ -309,14 +318,7 @@ func (c *Campaign) Run(ctx context.Context, points []RunSpec) ([]PointResult, er
 		jobs = 1
 	}
 
-	// Lazily created so a zero-value Campaign works like one from
-	// NewCampaign; Run is single-threaded per Campaign value.
-	if c.cache == nil {
-		c.cache = &netCache{
-			entries: make(map[string]*netCacheEntry),
-			tables:  make(map[string]*tableCacheEntry),
-		}
-	}
+	c.ensureCache()
 	cache := c.cache
 	idxCh := make(chan int)
 	var emitMu sync.Mutex
@@ -332,15 +334,7 @@ func (c *Campaign) Run(ctx context.Context, points []RunSpec) ([]PointResult, er
 					p.Error = p.Err.Error()
 				}
 				emitMu.Lock()
-				for _, s := range c.sinks {
-					if err := s.Emit(*p); err != nil && p.Err == nil {
-						p.Err = fmt.Errorf("slimnoc: sink: %w", err)
-						p.Error = p.Err.Error()
-					}
-				}
-				if c.onPoint != nil {
-					c.onPoint(*p)
-				}
+				c.emitPoint(p)
 				emitMu.Unlock()
 			}
 		}()
@@ -367,6 +361,33 @@ dispatch:
 		return results, err
 	}
 	return results, nil
+}
+
+// ensureCache lazily creates the network/route-table cache so a zero-value
+// Campaign works like one from NewCampaign. Run (and SaturationSearch) are
+// single-threaded per Campaign value.
+func (c *Campaign) ensureCache() {
+	if c.cache == nil {
+		c.cache = &netCache{
+			entries: make(map[string]*netCacheEntry),
+			tables:  make(map[string]*tableCacheEntry),
+		}
+	}
+}
+
+// emitPoint reports one completed point to the sinks and the OnPoint hook.
+// Callers serialize: Run's workers hold the emit mutex, SaturationSearch is
+// single-goroutine. A sink failure marks an otherwise successful point.
+func (c *Campaign) emitPoint(p *PointResult) {
+	for _, s := range c.sinks {
+		if err := s.Emit(*p); err != nil && p.Err == nil {
+			p.Err = fmt.Errorf("slimnoc: sink: %w", err)
+			p.Error = p.Err.Error()
+		}
+	}
+	if c.onPoint != nil {
+		c.onPoint(*p)
+	}
 }
 
 // runPoint executes one spec with the shared-network cache plus any

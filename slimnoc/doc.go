@@ -60,6 +60,30 @@
 // they include sim.EngineVersion, results from an incompatible engine
 // generation are never served.
 //
+// # Workloads: Pattern x Process x Sizer
+//
+// TrafficSpec composes a workload from three orthogonal axes plus two
+// extras, mirroring the internal/traffic decomposition. The spatial Pattern
+// (rnd, shf, rev, adv1, adv2, asym) decides where packets go; the temporal
+// Process (RegisterProcess: bernoulli, burst, mmpp, reqreply) decides when
+// nodes inject; the size mix (fixed, bimodal) decides packet lengths; the
+// hotspot overlay (HotspotFraction/HotspotCount) concentrates a share of
+// any pattern's traffic on a few hot nodes; and the closed-loop reqreply
+// process replaces the open loop with a self-throttling outstanding-request
+// window. All axes preserve the configured mean load and the determinism
+// contract (fixed seed => identical injection sequence, zero-allocation
+// steady state). The defaults canonicalize to ABSENT fields — Normalized
+// rewrites "bernoulli" and "fixed" to "" — so specs written before the
+// decomposition keep their canonical bytes, and with them their PointKeys
+// and stored results.
+//
+// SaturationSearch is the campaign mode built on the decomposition: it
+// binary-searches the offered load where a configuration's mean latency
+// crosses a threshold (SaturationSpec), probing ordinary campaign points on
+// the min_load + i*step grid. Probes flow through the campaign's sinks and
+// result store, so searches resume like sweeps (a warm rerun simulates
+// nothing) and share probe results with any sweep touching the same loads.
+//
 // SpecFlags layers the same spec model onto the flag package, giving every
 // command-line binary a shared `-spec run.json` + per-field overrides
 // convention.

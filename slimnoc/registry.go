@@ -90,6 +90,24 @@ type TrafficEntry struct {
 	Example TrafficSpec
 }
 
+// ProcessEntry is one registered temporal injection process — the second
+// axis of the Pattern x Process x Sizer workload decomposition. Open-loop
+// processes compose with any synthetic pattern and sizer via New;
+// closed-loop ones (reqreply) replace the whole source.
+type ProcessEntry struct {
+	// New builds the process for n nodes from a resolved TrafficSpec.
+	// Nil for closed-loop entries.
+	New func(n int, ts TrafficSpec) (traffic.Process, error)
+	// ClosedLoop marks processes that build a self-throttling source
+	// instead of composing with the open-loop Synthetic generator; the
+	// traffic factories special-case them.
+	ClosedLoop bool
+	// Section cites the paper or related-work motivation.
+	Section string
+	// Example is a runnable TrafficSpec for this entry.
+	Example TrafficSpec
+}
+
 // SchemeConfig is a resolved buffer organisation: the simulator scheme, the
 // per-VC edge-buffer sizing function (nil = simulator default), and the
 // central-buffer capacity.
@@ -119,6 +137,7 @@ var (
 	topologies registry[TopologyEntry]
 	routings   registry[RoutingEntry]
 	traffics   registry[TrafficEntry]
+	processes  registry[ProcessEntry]
 	schemes    registry[SchemeEntry]
 	layouts    registry[LayoutEntry]
 )
@@ -133,6 +152,9 @@ func RegisterRouting(name string, e RoutingEntry) { routings.register(name, e) }
 
 // RegisterTraffic adds (or replaces) a traffic generator.
 func RegisterTraffic(name string, e TrafficEntry) { traffics.register(name, e) }
+
+// RegisterProcess adds (or replaces) a temporal injection process.
+func RegisterProcess(name string, e ProcessEntry) { processes.register(name, e) }
 
 // RegisterScheme adds (or replaces) a buffering strategy.
 func RegisterScheme(name string, e SchemeEntry) { schemes.register(name, e) }
@@ -149,6 +171,9 @@ func Routings() []string { return routings.names() }
 // Traffics lists registered traffic generator names (sorted).
 func Traffics() []string { return traffics.names() }
 
+// Processes lists registered temporal-process names (sorted).
+func Processes() []string { return processes.names() }
+
 // Schemes lists registered buffering strategy names (sorted).
 func Schemes() []string { return schemes.names() }
 
@@ -160,6 +185,9 @@ func TopologyByName(name string) (TopologyEntry, bool) { return topologies.looku
 
 // TrafficByName returns a registered traffic entry.
 func TrafficByName(name string) (TrafficEntry, bool) { return traffics.lookup(name) }
+
+// ProcessByName returns a registered process entry.
+func ProcessByName(name string) (ProcessEntry, bool) { return processes.lookup(name) }
 
 // hasOverrides reports whether any explicit parameter accompanies the
 // spec's preset name.
@@ -335,20 +363,119 @@ func adaptiveRouting(policy func(vcs int) sim.AdaptivePolicy) RoutingFactory {
 	}
 }
 
+// Resolved defaults of the workload axes (zero spec fields fall back to
+// these; the spec layer leaves zeros in place so point keys stay stable).
+const (
+	defaultBurstLen   = 8.0
+	defaultDuty       = 0.25
+	defaultModFactor  = 1.8
+	defaultModPeriod  = 200.0
+	defaultHotCount   = 4
+	defaultShortFlits = 2
+	defaultShortFrac  = 0.5
+	defaultWindow     = 4
+)
+
+// ResolveTraffic returns the spec with the runtime defaults of its selected
+// process, overlay and size mix filled in — the exact values the traffic
+// factories use. It is the inverse direction from RunSpec.Normalized, which
+// canonicalizes defaults to ABSENT fields for stable content addressing:
+// normalize to hash and compare specs, resolve to display or analyze what a
+// run actually did (the CSV sink resolves, so a defaulted burst point
+// reports burst_len=8 rather than a physically impossible 0).
+func ResolveTraffic(ts TrafficSpec) TrafficSpec {
+	if ts.PacketFlits == 0 {
+		ts.PacketFlits = 6
+	}
+	switch ts.Process {
+	case "burst":
+		if ts.BurstLen == 0 {
+			ts.BurstLen = defaultBurstLen
+		}
+		if ts.Duty == 0 {
+			ts.Duty = defaultDuty
+		}
+	case "mmpp":
+		if ts.ModFactor == 0 {
+			ts.ModFactor = defaultModFactor
+		}
+		if ts.ModPeriod == 0 {
+			ts.ModPeriod = defaultModPeriod
+		}
+	case "reqreply":
+		if ts.Window == 0 {
+			ts.Window = defaultWindow
+		}
+		if ts.ShortFlits == 0 {
+			ts.ShortFlits = defaultShortFlits
+		}
+	}
+	if ts.HotspotFraction > 0 && ts.HotspotCount == 0 {
+		ts.HotspotCount = defaultHotCount
+	}
+	if ts.SizeMix == "bimodal" {
+		if ts.ShortFlits == 0 {
+			ts.ShortFlits = defaultShortFlits
+		}
+		if ts.ShortFrac == 0 {
+			ts.ShortFrac = defaultShortFrac
+		}
+	}
+	return ts
+}
+
+// synthetic returns the factory composing the paper pattern with the spec's
+// temporal process, hotspot overlay and packet-size mix — or, for the
+// closed-loop reqreply process, the self-throttling request-reply source.
 func synthetic(paperName string) TrafficFactory {
 	return func(net *topo.Network, ts TrafficSpec) (sim.Source, error) {
+		if err := ts.validate(); err != nil {
+			return nil, err
+		}
+		ts = ResolveTraffic(ts)
 		pat := traffic.PatternByName(paperName, net)
 		if pat == nil {
 			return nil, fmt.Errorf("slimnoc: pattern %q unavailable", paperName)
 		}
+		n := net.N()
+		var spat traffic.Pattern = pat
+		if ts.HotspotFraction > 0 {
+			if ts.HotspotCount > n {
+				return nil, fmt.Errorf("slimnoc: traffic.hotspot_count = %d exceeds the network's %d nodes", ts.HotspotCount, n)
+			}
+			spat = traffic.Hotspot{Frac: ts.HotspotFraction, K: ts.HotspotCount, N: n, Base: pat}
+		}
+
+		pe, ok := processes.lookup(ts.Process)
+		if ts.Process == "" {
+			pe, ok = ProcessEntry{}, true // nil process = Bernoulli composition
+		}
+		if !ok {
+			return nil, fmt.Errorf("slimnoc: unknown traffic process %q (have %s)",
+				ts.Process, strings.Join(Processes(), ", "))
+		}
+		if pe.ClosedLoop {
+			return &traffic.ReqReply{N: n, Window: ts.Window, ReqFlits: ts.ShortFlits,
+				ReplyFlits: ts.PacketFlits, Pattern: spat}, nil
+		}
+
 		if ts.Rate <= 0 {
 			return nil, fmt.Errorf("slimnoc: pattern %q needs traffic.rate > 0", paperName)
 		}
-		flits := ts.PacketFlits
-		if flits == 0 {
-			flits = 6
+		var proc traffic.Process
+		if pe.New != nil {
+			p, err := pe.New(n, ts)
+			if err != nil {
+				return nil, err
+			}
+			proc = p
 		}
-		return &traffic.Synthetic{N: net.N(), Rate: ts.Rate, PacketFlits: flits, Pattern: pat}, nil
+		var sizer traffic.Sizer
+		if ts.SizeMix == "bimodal" {
+			sizer = traffic.Bimodal{Short: ts.ShortFlits, Long: ts.PacketFlits, ShortFrac: ts.ShortFrac}
+		}
+		return &traffic.Synthetic{N: n, Rate: ts.Rate, PacketFlits: ts.PacketFlits,
+			Pattern: spat, Process: proc, Sizer: sizer}, nil
 	}
 }
 
@@ -552,6 +679,48 @@ func init() {
 		New: synthetic("ASYM"), Section: "§6, Fig. 20 (asymmetric)",
 		Example: TrafficSpec{Pattern: "asym", Rate: 0.06},
 	})
+	RegisterProcess("bernoulli", ProcessEntry{
+		// Explicit spelling of the default: specs normalize it back to the
+		// empty string, and the nil process inside Synthetic is Bernoulli.
+		Section: "§5.1 (open-loop memoryless injection)",
+		Example: TrafficSpec{Pattern: "rnd", Rate: 0.06, Process: "bernoulli"},
+	})
+	RegisterProcess("burst", ProcessEntry{
+		New: func(n int, ts TrafficSpec) (traffic.Process, error) {
+			bl := ts.BurstLen
+			if bl == 0 {
+				bl = defaultBurstLen
+			}
+			duty := ts.Duty
+			if duty == 0 {
+				duty = defaultDuty
+			}
+			return traffic.NewOnOff(n, bl, duty), nil
+		},
+		Section: "related work (bursty on/off arrivals, geometric burst lengths)",
+		Example: TrafficSpec{Pattern: "rnd", Rate: 0.06, Process: "burst", BurstLen: 8, Duty: 0.25},
+	})
+	RegisterProcess("mmpp", ProcessEntry{
+		New: func(n int, ts TrafficSpec) (traffic.Process, error) {
+			f := ts.ModFactor
+			if f == 0 {
+				f = defaultModFactor
+			}
+			p := ts.ModPeriod
+			if p == 0 {
+				p = defaultModPeriod
+			}
+			return traffic.NewModulated(f, p), nil
+		},
+		Section: "related work (Markov-modulated injection epochs)",
+		Example: TrafficSpec{Pattern: "rnd", Rate: 0.06, Process: "mmpp", ModFactor: 1.8, ModPeriod: 200},
+	})
+	RegisterProcess("reqreply", ProcessEntry{
+		ClosedLoop: true,
+		Section:    "related work (closed-loop memory traffic, cf. §5.1 read/reply sizes)",
+		Example:    TrafficSpec{Pattern: "rnd", Process: "reqreply", Window: 4},
+	})
+
 	RegisterTraffic("trace", TrafficEntry{
 		New: func(net *topo.Network, ts TrafficSpec) (sim.Source, error) {
 			b := trace.BenchmarkByName(ts.Trace)

@@ -81,18 +81,64 @@ type BufferingSpec struct {
 	CBCap int `json:"cb_cap,omitempty"`
 }
 
-// TrafficSpec selects a traffic generator from the traffic registry.
+// TrafficSpec composes a workload from the three orthogonal traffic axes —
+// spatial Pattern, temporal Process, packet-size mix — plus the hotspot
+// overlay and the closed-loop request-reply window. Every new field is
+// omitted from JSON (and from content-addressed point keys) at its zero
+// value, so specs written before the decomposition keep their exact
+// canonical bytes and stored results.
 type TrafficSpec struct {
 	// Pattern is a traffic registry key: rnd, shf, rev, adv1, adv2, asym,
 	// or trace.
 	Pattern string `json:"pattern,omitempty"`
-	// Rate is the offered load in flits/node/cycle (synthetic patterns).
+	// Rate is the offered load in flits/node/cycle (open-loop processes;
+	// ignored by reqreply, which self-throttles).
 	Rate float64 `json:"rate,omitempty"`
-	// PacketFlits is the packet size in flits (default 6, §5.1).
+	// PacketFlits is the data-packet size in flits (default 6, §5.1). It is
+	// the fixed size, the bimodal long size, and the reqreply reply size.
 	PacketFlits int `json:"packet_flits,omitempty"`
 	// Trace names the PARSEC/SPLASH benchmark for pattern "trace":
 	// barnes, fft, lu, radix, water-n, water-s.
 	Trace string `json:"trace,omitempty"`
+
+	// Process is a process registry key selecting the temporal injection
+	// process: bernoulli (the default; canonicalized to the empty string so
+	// pre-decomposition specs hash identically), burst, mmpp, or the
+	// closed-loop reqreply.
+	Process string `json:"process,omitempty"`
+	// BurstLen is the mean burst length in cycles for process burst
+	// (default 8).
+	BurstLen float64 `json:"burst_len,omitempty"`
+	// Duty is the long-run on-fraction for process burst, in (0, 1]
+	// (default 0.25).
+	Duty float64 `json:"duty,omitempty"`
+	// ModFactor is the high-state rate multiplier for process mmpp, in
+	// [1, 2] (default 1.8; the low state uses 2-ModFactor).
+	ModFactor float64 `json:"mod_factor,omitempty"`
+	// ModPeriod is the mean per-state dwell time in cycles for process mmpp
+	// (default 200).
+	ModPeriod float64 `json:"mod_period,omitempty"`
+
+	// HotspotFraction concentrates this share of destinations on the
+	// HotspotCount hot nodes (0 disables the overlay). Composes with any
+	// synthetic pattern.
+	HotspotFraction float64 `json:"hotspot_fraction,omitempty"`
+	// HotspotCount is the hot-node count K (nodes 0..K-1; default 4 when
+	// the overlay is active).
+	HotspotCount int `json:"hotspot_count,omitempty"`
+
+	// SizeMix selects the packet-size model: fixed (the default;
+	// canonicalized to the empty string) or bimodal.
+	SizeMix string `json:"size_mix,omitempty"`
+	// ShortFlits is the control-packet size for size_mix bimodal and the
+	// request size for process reqreply (default 2).
+	ShortFlits int `json:"short_flits,omitempty"`
+	// ShortFrac is the probability a bimodal packet is short (default 0.5).
+	ShortFrac float64 `json:"short_frac,omitempty"`
+
+	// Window is the per-node outstanding-request bound W for process
+	// reqreply (default 4).
+	Window int `json:"window,omitempty"`
 }
 
 // SimSpec sets the simulation phases and seed. Zero cycle values fall back
@@ -156,6 +202,57 @@ func (s RunSpec) Normalized() RunSpec {
 	if s.Traffic.PacketFlits == 0 {
 		s.Traffic.PacketFlits = 6
 	}
+	// The default process and size mix canonicalize to the EMPTY string,
+	// not the other way round: filling them in would change the canonical
+	// bytes — and so the content-addressed PointKey — of every spec written
+	// before the workload decomposition, orphaning existing result stores.
+	s.Traffic.Process = strings.ToLower(s.Traffic.Process)
+	if s.Traffic.Process == "bernoulli" {
+		s.Traffic.Process = ""
+	}
+	s.Traffic.SizeMix = strings.ToLower(s.Traffic.SizeMix)
+	if s.Traffic.SizeMix == "fixed" {
+		s.Traffic.SizeMix = ""
+	}
+	// Clear workload fields the selected pattern/process/mix never reads (a
+	// burst length under bernoulli, a window under an open loop, a process
+	// under a trace, ...): two specs that run identically must share one
+	// canonical form, one PointKey and one label. A consequence: an
+	// out-of-range value in an inert field is dropped with the field rather
+	// than rejected.
+	if s.Traffic.Pattern == "trace" {
+		// Trace workloads replay their own recorded request/reply model;
+		// the whole composable axis is inert. Rate is left untouched: it
+		// predates the decomposition (and was always ignored by traces),
+		// so clearing it would reshape pre-existing canonical bytes.
+		s.Traffic.Process = ""
+		s.Traffic.HotspotFraction = 0
+		s.Traffic.SizeMix = ""
+	}
+	if s.Traffic.Process == "reqreply" {
+		// The closed loop self-throttles: the open-loop rate and the size
+		// mix are inert (ShortFlits stays live as the request size).
+		s.Traffic.Rate = 0
+		s.Traffic.SizeMix = ""
+	}
+	if s.Traffic.Process != "burst" {
+		s.Traffic.BurstLen, s.Traffic.Duty = 0, 0
+	}
+	if s.Traffic.Process != "mmpp" {
+		s.Traffic.ModFactor, s.Traffic.ModPeriod = 0, 0
+	}
+	if s.Traffic.Process != "reqreply" {
+		s.Traffic.Window = 0
+	}
+	if s.Traffic.HotspotFraction == 0 {
+		s.Traffic.HotspotCount = 0
+	}
+	if s.Traffic.SizeMix != "bimodal" {
+		s.Traffic.ShortFrac = 0
+		if s.Traffic.Process != "reqreply" { // reqreply reads the request size
+			s.Traffic.ShortFlits = 0
+		}
+	}
 	s.Network.Preset = strings.ToLower(s.Network.Preset)
 	s.Network.Topology = strings.ToLower(s.Network.Topology)
 	s.Network.Layout = strings.ToLower(s.Network.Layout)
@@ -200,6 +297,52 @@ func (s RunSpec) Validate() error {
 	if _, ok := traffics.lookup(s.Traffic.Pattern); !ok {
 		return fmt.Errorf("slimnoc: unknown traffic pattern %q (have %s)",
 			s.Traffic.Pattern, strings.Join(Traffics(), ", "))
+	}
+	return s.Traffic.validate()
+}
+
+// validate checks the workload-axis fields of an already normalized
+// TrafficSpec: registry membership of the process, and parameter ranges
+// (zero always means "use the default" and is valid).
+func (ts TrafficSpec) validate() error {
+	if ts.Process != "" {
+		if _, ok := processes.lookup(ts.Process); !ok {
+			return fmt.Errorf("slimnoc: unknown traffic process %q (have %s)",
+				ts.Process, strings.Join(Processes(), ", "))
+		}
+	}
+	if ts.BurstLen != 0 && ts.BurstLen < 1 {
+		return fmt.Errorf("slimnoc: traffic.burst_len = %g, want >= 1", ts.BurstLen)
+	}
+	if ts.Duty != 0 && (ts.Duty < 0 || ts.Duty > 1) {
+		return fmt.Errorf("slimnoc: traffic.duty = %g out of (0, 1]", ts.Duty)
+	}
+	if ts.ModFactor != 0 && (ts.ModFactor < 1 || ts.ModFactor > 2) {
+		return fmt.Errorf("slimnoc: traffic.mod_factor = %g out of [1, 2]", ts.ModFactor)
+	}
+	if ts.ModPeriod != 0 && ts.ModPeriod < 1 {
+		return fmt.Errorf("slimnoc: traffic.mod_period = %g, want >= 1", ts.ModPeriod)
+	}
+	if ts.HotspotFraction < 0 || ts.HotspotFraction > 1 {
+		return fmt.Errorf("slimnoc: traffic.hotspot_fraction = %g out of [0, 1]", ts.HotspotFraction)
+	}
+	if ts.HotspotCount < 0 {
+		return fmt.Errorf("slimnoc: traffic.hotspot_count = %d, want >= 0", ts.HotspotCount)
+	}
+	switch ts.SizeMix {
+	case "", "bimodal":
+	default:
+		return fmt.Errorf("slimnoc: unknown traffic size_mix %q (have fixed, bimodal)", ts.SizeMix)
+	}
+	if ts.ShortFlits < 0 || (ts.ShortFlits > 0 && ts.ShortFlits >= ts.PacketFlits) {
+		return fmt.Errorf("slimnoc: traffic.short_flits = %d, want in [1, packet_flits=%d)",
+			ts.ShortFlits, ts.PacketFlits)
+	}
+	if ts.ShortFrac != 0 && (ts.ShortFrac < 0 || ts.ShortFrac > 1) {
+		return fmt.Errorf("slimnoc: traffic.short_frac = %g out of [0, 1]", ts.ShortFrac)
+	}
+	if ts.Window < 0 {
+		return fmt.Errorf("slimnoc: traffic.window = %d, want >= 0", ts.Window)
 	}
 	return nil
 }

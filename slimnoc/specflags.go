@@ -36,6 +36,18 @@ type SpecFlags struct {
 	Adaptive string
 	Cycles   int64
 
+	// Workload-axis flags (temporal process, hotspot overlay, size mix,
+	// request-reply window).
+	Process  string
+	BurstLen float64
+	Duty     float64
+	ModFact  float64
+	ModPer   float64
+	HotFrac  float64
+	HotCount int
+	SizeMix  string
+	Window   int
+
 	bound map[string]*flag.FlagSet
 }
 
@@ -85,7 +97,18 @@ func (s *SpecFlags) BindRun(fs *flag.FlagSet) *SpecFlags {
 	fs.IntVar(&s.H, "hop-factor", 0, "explicit SMART hop factor H")
 	fs.StringVar(&s.Adaptive, "adaptive", "", "adaptive routing: ugal-l, ugal-g, min-adapt")
 	fs.Int64Var(&s.Cycles, "cycles", 0, "measurement cycles (0 = mode default)")
-	s.track(fs, "pattern", "trace", "rate", "vcs", "scheme", "edge-cap", "cb", "hop-factor", "adaptive", "cycles")
+	fs.StringVar(&s.Process, "process", "", "temporal injection process: "+strings.Join(Processes(), ", "))
+	fs.Float64Var(&s.BurstLen, "burst-len", 0, "mean burst length in cycles (process burst; default 8)")
+	fs.Float64Var(&s.Duty, "duty", 0, "burst on-fraction in (0,1] (process burst; default 0.25)")
+	fs.Float64Var(&s.ModFact, "mod-factor", 0, "high-state rate multiplier in [1,2] (process mmpp; default 1.8)")
+	fs.Float64Var(&s.ModPer, "mod-period", 0, "mean per-state dwell in cycles (process mmpp; default 200)")
+	fs.Float64Var(&s.HotFrac, "hotspot-frac", 0, "fraction of traffic aimed at the hot nodes")
+	fs.IntVar(&s.HotCount, "hotspot-count", 0, "hot node count K (default 4 when -hotspot-frac is set)")
+	fs.StringVar(&s.SizeMix, "size-mix", "", "packet-size mix: fixed, bimodal")
+	fs.IntVar(&s.Window, "window", 0, "outstanding requests per node W (process reqreply; default 4)")
+	s.track(fs, "pattern", "trace", "rate", "vcs", "scheme", "edge-cap", "cb", "hop-factor", "adaptive", "cycles",
+		"process", "burst-len", "duty", "mod-factor", "mod-period",
+		"hotspot-frac", "hotspot-count", "size-mix", "window")
 	return s
 }
 
@@ -157,6 +180,33 @@ func (s *SpecFlags) Spec(defaults RunSpec) (RunSpec, error) {
 	}
 	if s.set("rate") {
 		spec.Traffic.Rate = s.Rate
+	}
+	if s.set("process") {
+		spec.Traffic.Process = s.Process
+	}
+	if s.set("burst-len") {
+		spec.Traffic.BurstLen = s.BurstLen
+	}
+	if s.set("duty") {
+		spec.Traffic.Duty = s.Duty
+	}
+	if s.set("mod-factor") {
+		spec.Traffic.ModFactor = s.ModFact
+	}
+	if s.set("mod-period") {
+		spec.Traffic.ModPeriod = s.ModPer
+	}
+	if s.set("hotspot-frac") {
+		spec.Traffic.HotspotFraction = s.HotFrac
+	}
+	if s.set("hotspot-count") {
+		spec.Traffic.HotspotCount = s.HotCount
+	}
+	if s.set("size-mix") {
+		spec.Traffic.SizeMix = s.SizeMix
+	}
+	if s.set("window") {
+		spec.Traffic.Window = s.Window
 	}
 	if s.set("vcs") {
 		spec.Routing.VCs = s.VCs

@@ -32,6 +32,9 @@ type SweepAxes struct {
 	Networks []NetworkSpec `json:"networks,omitempty"`
 	// Patterns are traffic registry keys (rnd, shf, adv1, ...).
 	Patterns []string `json:"patterns,omitempty"`
+	// Processes are temporal-process registry keys (bernoulli, burst, mmpp,
+	// reqreply), overriding the base spec's traffic.process per point.
+	Processes []string `json:"processes,omitempty"`
 	// Schemes are buffer-scheme registry keys (eb, eb-large, el, cbr, ...).
 	Schemes []string `json:"schemes,omitempty"`
 	// VCs are virtual-channel counts.
@@ -87,8 +90,8 @@ func axisLen(l int) int {
 func (s SweepSpec) NumPoints() int {
 	n := 1
 	for _, l := range []int{
-		len(s.Axes.networkAxis()), len(s.Axes.Patterns), len(s.Axes.Schemes),
-		len(s.Axes.VCs), len(s.Axes.Loads), len(s.Axes.Seeds),
+		len(s.Axes.networkAxis()), len(s.Axes.Patterns), len(s.Axes.Processes),
+		len(s.Axes.Schemes), len(s.Axes.VCs), len(s.Axes.Loads), len(s.Axes.Seeds),
 	} {
 		n *= axisLen(l)
 	}
@@ -97,57 +100,68 @@ func (s SweepSpec) NumPoints() int {
 
 // Points expands the sweep into its cartesian product of normalized
 // RunSpecs. The expansion is deterministic: axes nest in the fixed order
-// networks (slowest) > patterns > schemes > vcs > loads > seeds (fastest),
-// each axis in declaration order. Every point carries a concrete seed —
-// from the seed axis when declared, otherwise derived via DeriveSeed from
-// the base seed and the point index — so any single point re-run on its own
-// reproduces the in-sweep metrics exactly.
+// networks (slowest) > patterns > processes > schemes > vcs > loads > seeds
+// (fastest), each axis in declaration order. Every point carries a concrete
+// seed — from the seed axis when declared, otherwise derived via DeriveSeed
+// from the base seed and the point index — so any single point re-run on
+// its own reproduces the in-sweep metrics exactly. Point names carry one
+// token per swept axis plus the workload tokens of the resolved traffic
+// spec (process, burst shape, hotspot, size mix, window; see TrafficLabel),
+// so mixed-process sweeps stay distinguishable in sinks and reports.
 func (s SweepSpec) Points() ([]RunSpec, error) {
 	nets := s.Axes.networkAxis()
 	nNet, nPat := axisLen(len(nets)), axisLen(len(s.Axes.Patterns))
+	nProc := axisLen(len(s.Axes.Processes))
 	nSch, nVC := axisLen(len(s.Axes.Schemes)), axisLen(len(s.Axes.VCs))
 	nLoad, nSeed := axisLen(len(s.Axes.Loads)), axisLen(len(s.Axes.Seeds))
 
-	total := nNet * nPat * nSch * nVC * nLoad * nSeed
+	total := nNet * nPat * nProc * nSch * nVC * nLoad * nSeed
 	points := make([]RunSpec, 0, total)
 	idx := 0
 	for in := 0; in < nNet; in++ {
 		for ip := 0; ip < nPat; ip++ {
-			for is := 0; is < nSch; is++ {
-				for iv := 0; iv < nVC; iv++ {
-					for il := 0; il < nLoad; il++ {
-						for ic := 0; ic < nSeed; ic++ {
-							p := s.Base
-							var label []string
-							if len(nets) > 0 {
-								p.Network = nets[in]
-								label = append(label, netLabel(nets[in]))
+			for ix := 0; ix < nProc; ix++ {
+				for is := 0; is < nSch; is++ {
+					for iv := 0; iv < nVC; iv++ {
+						for il := 0; il < nLoad; il++ {
+							for ic := 0; ic < nSeed; ic++ {
+								p := s.Base
+								var label []string
+								if len(nets) > 0 {
+									p.Network = nets[in]
+									label = append(label, netLabel(nets[in]))
+								}
+								if len(s.Axes.Patterns) > 0 {
+									p.Traffic.Pattern = s.Axes.Patterns[ip]
+									label = append(label, strings.ToLower(s.Axes.Patterns[ip]))
+								}
+								if len(s.Axes.Processes) > 0 {
+									p.Traffic.Process = s.Axes.Processes[ix]
+								}
+								if len(s.Axes.Schemes) > 0 {
+									p.Buffering.Scheme = s.Axes.Schemes[is]
+									label = append(label, strings.ToLower(s.Axes.Schemes[is]))
+								}
+								if len(s.Axes.VCs) > 0 {
+									p.Routing.VCs = s.Axes.VCs[iv]
+									label = append(label, fmt.Sprintf("vc%d", s.Axes.VCs[iv]))
+								}
+								if len(s.Axes.Loads) > 0 {
+									p.Traffic.Rate = s.Axes.Loads[il]
+									label = append(label, fmt.Sprintf("load%.3f", s.Axes.Loads[il]))
+								}
+								if len(s.Axes.Seeds) > 0 {
+									p.Sim.Seed = s.Axes.Seeds[ic]
+									label = append(label, fmt.Sprintf("seed%d", s.Axes.Seeds[ic]))
+								} else {
+									p.Sim.Seed = DeriveSeed(s.Base.Sim.Seed, idx)
+								}
+								p = p.Normalized()
+								label = append(label, TrafficLabel(p.Traffic)...)
+								p.Name = pointName(s.Name, s.Base.Name, label, idx)
+								points = append(points, p)
+								idx++
 							}
-							if len(s.Axes.Patterns) > 0 {
-								p.Traffic.Pattern = s.Axes.Patterns[ip]
-								label = append(label, strings.ToLower(s.Axes.Patterns[ip]))
-							}
-							if len(s.Axes.Schemes) > 0 {
-								p.Buffering.Scheme = s.Axes.Schemes[is]
-								label = append(label, strings.ToLower(s.Axes.Schemes[is]))
-							}
-							if len(s.Axes.VCs) > 0 {
-								p.Routing.VCs = s.Axes.VCs[iv]
-								label = append(label, fmt.Sprintf("vc%d", s.Axes.VCs[iv]))
-							}
-							if len(s.Axes.Loads) > 0 {
-								p.Traffic.Rate = s.Axes.Loads[il]
-								label = append(label, fmt.Sprintf("load%.3f", s.Axes.Loads[il]))
-							}
-							if len(s.Axes.Seeds) > 0 {
-								p.Sim.Seed = s.Axes.Seeds[ic]
-								label = append(label, fmt.Sprintf("seed%d", s.Axes.Seeds[ic]))
-							} else {
-								p.Sim.Seed = DeriveSeed(s.Base.Sim.Seed, idx)
-							}
-							p.Name = pointName(s.Name, s.Base.Name, label, idx)
-							points = append(points, p.Normalized())
-							idx++
 						}
 					}
 				}
@@ -160,6 +174,55 @@ func (s SweepSpec) Points() ([]RunSpec, error) {
 		}
 	}
 	return points, nil
+}
+
+// DisplayProcess spells out a normalized TrafficSpec's temporal process for
+// human-facing output: the canonicalized-empty default reads "bernoulli",
+// except for trace workloads, which have no injection process at all. Sinks
+// and reports share this one derivation.
+func DisplayProcess(ts TrafficSpec) string {
+	if ts.Process == "" && ts.Trace == "" {
+		return "bernoulli"
+	}
+	return ts.Process
+}
+
+// TrafficLabel renders the workload-axis tokens of a normalized TrafficSpec:
+// the temporal process (when not the Bernoulli default), its shape
+// parameters when explicitly set, the hotspot overlay, the size mix, and
+// the request-reply window. Specs written before the workload decomposition
+// produce no tokens, so existing point names are unchanged.
+func TrafficLabel(ts TrafficSpec) []string {
+	var out []string
+	if ts.Process != "" {
+		out = append(out, ts.Process)
+	}
+	if ts.BurstLen != 0 {
+		out = append(out, fmt.Sprintf("bl%g", ts.BurstLen))
+	}
+	if ts.Duty != 0 {
+		out = append(out, fmt.Sprintf("duty%g", ts.Duty))
+	}
+	if ts.ModFactor != 0 {
+		out = append(out, fmt.Sprintf("mf%g", ts.ModFactor))
+	}
+	if ts.ModPeriod != 0 {
+		out = append(out, fmt.Sprintf("mp%g", ts.ModPeriod))
+	}
+	if ts.HotspotFraction != 0 {
+		k := ts.HotspotCount
+		if k == 0 {
+			k = defaultHotCount
+		}
+		out = append(out, fmt.Sprintf("hot%gx%d", ts.HotspotFraction, k))
+	}
+	if ts.SizeMix != "" {
+		out = append(out, ts.SizeMix)
+	}
+	if ts.Window != 0 {
+		out = append(out, fmt.Sprintf("w%d", ts.Window))
+	}
+	return out
 }
 
 // netLabel compacts a network axis value for point names.
