@@ -1,0 +1,105 @@
+// Command snserve runs the simulator as a co-simulation latency oracle: a
+// long-lived service that external execution engines query for
+// cycle-accurate transfer latencies over a JSON-line protocol (one request
+// object per line, one response per line — see docs/SERVING.md).
+//
+// Two transports:
+//
+//	snserve                          # stdio: one session over stdin/stdout
+//	snserve -listen 127.0.0.1:7333   # TCP: one session per connection
+//
+// A result store turns the service into a persistent memo table: every
+// estimate episode is content-addressed (expanded spec + transfer batch +
+// engine version) and durably cached, so a warm rerun of the same
+// co-simulation serves every query without simulating:
+//
+//	snserve -store results < session.jsonl
+//
+// Sessions negotiate their engine (network, routing, VCs) in the hello
+// request; warm engines are shared across sessions and -pool bounds how
+// many engine episodes run concurrently (excess queues, which is how
+// backpressure reaches clients).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/slimnoc/serve"
+	"repro/slimnoc/store"
+)
+
+// stdio adapts the process's stdin/stdout to the ServeConn transport.
+type stdio struct {
+	io.Reader
+	io.Writer
+}
+
+func main() {
+	var (
+		listen   = flag.String("listen", "", "TCP address to serve on (empty = one stdio session)")
+		storeDir = flag.String("store", "", "result-store directory for the response cache (empty = no cache; reruns re-simulate)")
+		pool     = flag.Int("pool", 0, "concurrent engine-activation bound (0 = NumCPU)")
+		maxBatch = flag.Int("max-batch", serve.DefaultMaxBatch, "largest accepted batch request")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "snserve: unexpected argument %q (requests arrive on stdin or -listen, not argv)\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if err := run(*listen, *storeDir, *pool, *maxBatch); err != nil {
+		fmt.Fprintf(os.Stderr, "snserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, storeDir string, pool, maxBatch int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []serve.ServerOption{
+		serve.WithPool(serve.NewPool(pool)),
+		serve.WithMaxBatch(maxBatch),
+	}
+	if storeDir != "" {
+		st, err := store.Open(filepath.Join(storeDir, "serve.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if st.Recovered() > 0 {
+			fmt.Fprintf(os.Stderr, "snserve: store recovered (%d unreadable lines dropped)\n", st.Recovered())
+		}
+		fmt.Fprintf(os.Stderr, "snserve: response cache %s (%d records)\n", st.Path(), st.Len())
+		opts = append(opts, serve.WithCache(serve.NewCache(st)))
+	}
+	srv := serve.NewServer(opts...)
+
+	if listen == "" {
+		err := srv.ServeConn(ctx, stdio{os.Stdin, os.Stdout})
+		if errors.Is(err, serve.ErrShutdown) {
+			err = nil
+		}
+		report(srv)
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "snserve: listening on %s\n", listen)
+	err := srv.ListenAndServe(ctx, listen)
+	report(srv)
+	return err
+}
+
+// report prints the deterministic service counters to stderr on exit, so a
+// scripted run can assert cache effectiveness without a stats request.
+func report(srv *serve.Server) {
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "snserve: %d sessions, %d requests, %d estimates (%d simulated, %d cache hits)\n",
+		st.Sessions, st.Requests, st.Estimates, st.Simulated, st.CacheHits)
+}

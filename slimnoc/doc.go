@@ -84,6 +84,21 @@
 // result store, so searches resume like sweeps (a warm rerun simulates
 // nothing) and share probe results with any sweep touching the same loads.
 //
+// # Latency estimates and serve mode
+//
+// An Estimator answers point queries instead of running statistical
+// campaigns: NewEstimator builds a warm engine (network plus compiled
+// static route table) from the engine-relevant subset of a RunSpec
+// (EstimatorSpec), and Estimate returns the cycle-accurate latency of a
+// batch of transfers injected together on an otherwise idle network — a
+// single transfer is the zero-load latency of its route and size, a batch
+// is one contended episode. Estimators are safe for concurrent use: the
+// underlying network and table are immutable, the same sharing contract
+// campaigns rely on. Package slimnoc/serve exposes estimators as a
+// co-simulation oracle service (JSON-line protocol, engine pool,
+// store-backed response cache) consumed by the snserve binary; see
+// docs/SERVING.md.
+//
 // SpecFlags layers the same spec model onto the flag package, giving every
 // command-line binary a shared `-spec run.json` + per-field overrides
 // convention.

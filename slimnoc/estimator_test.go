@@ -1,0 +1,130 @@
+package slimnoc_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/slimnoc"
+)
+
+func newTestEstimator(t testing.TB, preset string) *slimnoc.Estimator {
+	t.Helper()
+	e, err := slimnoc.NewEstimator(slimnoc.RunSpec{
+		Network: slimnoc.NetworkSpec{Preset: preset},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEstimatorSpecCanonicalizes(t *testing.T) {
+	a, err := slimnoc.EstimatorSpec(slimnoc.RunSpec{
+		Name:    "labelled",
+		Network: slimnoc.NetworkSpec{Preset: "t2d9"},
+		Traffic: slimnoc.TrafficSpec{Pattern: "adv1", Rate: 0.2},
+		Sim:     slimnoc.SimSpec{Seed: 42, WarmupCycles: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := slimnoc.EstimatorSpec(slimnoc.RunSpec{
+		Network: slimnoc.NetworkSpec{Preset: "T2D9"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := a.JSON()
+	bj, _ := b.JSON()
+	if string(aj) != string(bj) {
+		t.Fatalf("estimator specs differ for identical engines:\n a %s\n b %s", aj, bj)
+	}
+	if a.Network.Preset != "" && a.Network.Topology == "" {
+		t.Fatalf("network not expanded: %+v", a.Network)
+	}
+}
+
+func TestEstimatorRejectsAdaptive(t *testing.T) {
+	_, err := slimnoc.NewEstimator(slimnoc.RunSpec{
+		Network: slimnoc.NetworkSpec{Preset: "t2d9"},
+		Routing: slimnoc.RoutingSpec{Algorithm: "ugal-l", VCs: 4},
+	})
+	if err == nil {
+		t.Fatal("adaptive routing accepted")
+	}
+}
+
+func TestEstimatorEstimateAndPath(t *testing.T) {
+	e := newTestEstimator(t, "t2d9")
+	res, err := e.Estimate([]slimnoc.Transfer{
+		{Src: 0, Dst: e.Nodes() - 1, Flits: 6},
+		{Src: 1, Dst: 2, Flits: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.LatencyCycles <= 0 {
+			t.Fatalf("transfer %d: latency %d", i, r.LatencyCycles)
+		}
+		if r.LatencyNs != float64(r.LatencyCycles)*e.CycleTimeNs() {
+			t.Fatalf("transfer %d: ns conversion mismatch", i)
+		}
+	}
+	path, err := e.RouterPath(0, e.Nodes()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path)-1 != res[0].Hops {
+		t.Fatalf("RouterPath hops %d != estimate hops %d", len(path)-1, res[0].Hops)
+	}
+	if _, err := e.RouterPath(-1, 0); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}
+
+// TestEstimatorConcurrentIdentity pins the read-only sharing contract: many
+// goroutines estimating on one warm Estimator (same network, same compiled
+// table) get exactly the latencies a serial caller gets. Run under -race by
+// the CI race job.
+func TestEstimatorConcurrentIdentity(t *testing.T) {
+	e := newTestEstimator(t, "t2d9")
+	n := e.Nodes()
+	batches := make([][]slimnoc.Transfer, 16)
+	for i := range batches {
+		batches[i] = []slimnoc.Transfer{
+			{Src: i % n, Dst: (i*37 + 11) % n, Flits: 1 + i%8},
+			{Src: (i * 13) % n, Dst: (i * 29) % n, Flits: 6},
+		}
+	}
+	serial := make([][]slimnoc.EstimateResult, len(batches))
+	for i, b := range batches {
+		r, err := e.Estimate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = r
+	}
+	concurrent := make([][]slimnoc.EstimateResult, len(batches))
+	errs := make([]error, len(batches))
+	var wg sync.WaitGroup
+	for i, b := range batches {
+		wg.Add(1)
+		go func(i int, b []slimnoc.Transfer) {
+			defer wg.Done()
+			concurrent[i], errs[i] = e.Estimate(b)
+		}(i, b)
+	}
+	wg.Wait()
+	for i := range batches {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		for j := range serial[i] {
+			if serial[i][j] != concurrent[i][j] {
+				t.Fatalf("batch %d transfer %d: concurrent %+v != serial %+v",
+					i, j, concurrent[i][j], serial[i][j])
+			}
+		}
+	}
+}

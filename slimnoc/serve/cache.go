@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync/atomic"
+
+	"repro/slimnoc"
+	"repro/slimnoc/store"
+)
+
+// cacheSchema versions the cached record shape (the []EstimateResult
+// JSON) and the key identity below. Bump it when either changes
+// incompatibly; the engine component of the salt moves with
+// sim.EngineVersion automatically, so results computed by one engine
+// generation are never served to another — the same salting discipline as
+// slimnoc.PointKey.
+const cacheSchema = "slimnoc.serve.EstimateBatch/v1"
+
+// cacheSalt partitions the store key space for serve responses.
+const cacheSalt = cacheSchema + "|engine=" + slimnoc.EngineVersion
+
+// cacheIdentity is the canonical identity of one estimate episode: the
+// engine's canonical spec plus the exact transfer batch. Batches are
+// order-sensitive by design — transfers in one episode contend, so a
+// reordered batch is a different (if usually equal-valued) computation.
+type cacheIdentity struct {
+	Spec      slimnoc.RunSpec    `json:"spec"`
+	Transfers []slimnoc.Transfer `json:"transfers"`
+}
+
+// Cache is the store-backed response cache: estimate episodes keyed by
+// content address, so a repeated query — same engine, same batch — is
+// served without simulating, across sessions and across server restarts
+// (the store file persists). A nil *Cache is valid and caches nothing.
+//
+// Concurrency: the underlying store.Store serializes access internally and
+// the serve workload is read-mostly (every repeat is a Get), the access
+// pattern the store's concurrency contract is tested under.
+type Cache struct {
+	st   *store.Store
+	hits atomic.Int64
+}
+
+// NewCache wraps an open store as a response cache. The store may be
+// shared with other users (keys are salted); the caller keeps ownership
+// and closes it.
+func NewCache(st *store.Store) *Cache { return &Cache{st: st} }
+
+// Key computes the content address of an episode under the estimator's
+// canonical spec. spec must already be canonical (Estimator.Spec returns
+// the right form); transfers must carry resolved flit counts.
+func (c *Cache) Key(spec slimnoc.RunSpec, transfers []slimnoc.Transfer) (store.Key, error) {
+	return store.KeyOf(cacheSalt, cacheIdentity{Spec: spec, Transfers: transfers})
+}
+
+// Get returns the cached episode results for key, if present and
+// decodable. Undecodable records (schema drift) are treated as misses and
+// later superseded by Put.
+func (c *Cache) Get(key store.Key) ([]slimnoc.EstimateResult, bool) {
+	if c == nil || c.st == nil {
+		return nil, false
+	}
+	raw, ok := c.st.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var results []slimnoc.EstimateResult
+	if err := json.Unmarshal(raw, &results); err != nil {
+		return nil, false
+	}
+	c.hits.Add(1)
+	return results, true
+}
+
+// Put durably stores an episode's results under key.
+func (c *Cache) Put(key store.Key, results []slimnoc.EstimateResult) error {
+	if c == nil || c.st == nil {
+		return nil
+	}
+	raw, err := json.Marshal(results)
+	if err != nil {
+		return err
+	}
+	return c.st.Put(key, raw)
+}
+
+// Len returns the number of records in the backing store (0 when nil).
+func (c *Cache) Len() int {
+	if c == nil || c.st == nil {
+		return 0
+	}
+	return c.st.Len()
+}
+
+// Hits returns how many Get calls were served from the cache.
+func (c *Cache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}

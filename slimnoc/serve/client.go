@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/slimnoc"
+)
+
+// DefaultWindow is the client's default bound on in-flight requests.
+const DefaultWindow = 32
+
+// Client speaks the JSON-line protocol to a serve.Server over any
+// stream transport. It pipelines: up to a configurable window of requests
+// may be in flight at once, submitted from any number of goroutines, with
+// responses matched back to callers in protocol order (the server answers
+// strictly in request order). When the window is full, submission blocks —
+// server-side backpressure (queued engine activations) propagates to the
+// caller instead of growing an unbounded queue.
+type Client struct {
+	rwc io.ReadWriteCloser
+
+	network   slimnoc.NetworkInfo
+	engine    string
+	flitBytes int
+
+	// wmu serializes writes and pending-queue appends so the FIFO order of
+	// pending always matches the wire order of requests.
+	wmu     sync.Mutex
+	w       *bufio.Writer
+	nextID  int64
+	pending chan *call
+	window  chan struct{}
+
+	closeOnce sync.Once
+	readerErr error
+	done      chan struct{}
+}
+
+// call is one in-flight request awaiting its response line.
+type call struct {
+	id   int64
+	resp Response
+	err  error
+	done chan struct{}
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	flitBytes int
+	window    int
+}
+
+// WithFlitBytes negotiates a session flit width (bytes per flit) in hello.
+func WithFlitBytes(n int) ClientOption {
+	return func(c *clientConfig) { c.flitBytes = n }
+}
+
+// WithWindow bounds the client's in-flight request window
+// (default DefaultWindow).
+func WithWindow(n int) ClientOption {
+	return func(c *clientConfig) {
+		if n > 0 {
+			c.window = n
+		}
+	}
+}
+
+// Dial connects to a snserve TCP endpoint and opens a session for spec.
+func Dial(ctx context.Context, addr string, spec slimnoc.RunSpec, opts ...ClientOption) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	c, err := NewClient(conn, spec, opts...)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient opens a session over an existing transport (a TCP connection, a
+// subprocess's stdin/stdout pair, an in-process pipe): it performs the
+// hello handshake synchronously and returns a ready client. The client
+// owns rwc and closes it on Close.
+func NewClient(rwc io.ReadWriteCloser, spec slimnoc.RunSpec, opts ...ClientOption) (*Client, error) {
+	cfg := clientConfig{window: DefaultWindow}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Client{
+		rwc:     rwc,
+		w:       bufio.NewWriter(rwc),
+		pending: make(chan *call, cfg.window),
+		window:  make(chan struct{}, cfg.window),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	resp, err := c.roundTrip(Request{
+		Op:        OpHello,
+		Version:   ProtocolVersion,
+		FlitBytes: cfg.flitBytes,
+		Spec:      &spec,
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if resp.Network == nil {
+		c.Close()
+		return nil, errors.New("serve: hello response missing network info")
+	}
+	c.network = *resp.Network
+	c.engine = resp.Engine
+	c.flitBytes = resp.FlitBytes
+	return c, nil
+}
+
+// readLoop matches response lines to pending calls in FIFO order.
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.rwc)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var resp Response
+		err := json.Unmarshal(line, &resp)
+		select {
+		case call := <-c.pending:
+			if err != nil {
+				call.err = fmt.Errorf("serve: malformed response line: %w", err)
+			} else if resp.ID != call.id {
+				call.err = fmt.Errorf("serve: response id %d does not match request id %d", resp.ID, call.id)
+			} else {
+				call.resp = resp
+			}
+			close(call.done)
+			<-c.window
+		default:
+			// A response with no pending request means the stream
+			// desynchronized; abandon the session.
+			c.failPending(errors.New("serve: unsolicited response line"))
+			return
+		}
+	}
+	err := sc.Err()
+	if err == nil {
+		err = io.EOF
+	}
+	c.failPending(fmt.Errorf("serve: connection lost: %w", err))
+}
+
+// failPending wakes every queued caller with err and marks the client dead.
+func (c *Client) failPending(err error) {
+	c.readerErr = err
+	close(c.done)
+	for {
+		select {
+		case call := <-c.pending:
+			call.err = err
+			close(call.done)
+		default:
+			return
+		}
+	}
+}
+
+// send writes one request line and registers its call, respecting the
+// in-flight window.
+func (c *Client) send(req Request) (*call, error) {
+	select {
+	case c.window <- struct{}{}:
+	case <-c.done:
+		return nil, c.readerErr
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	select {
+	case <-c.done:
+		<-c.window
+		return nil, c.readerErr
+	default:
+	}
+	c.nextID++
+	req.ID = c.nextID
+	cl := &call{id: req.ID, done: make(chan struct{})}
+	out, err := json.Marshal(req)
+	if err != nil {
+		<-c.window
+		return nil, err
+	}
+	// Registering before writing keeps the pending FIFO aligned with the
+	// wire even if the reader races ahead.
+	c.pending <- cl
+	c.w.Write(out)
+	c.w.WriteByte('\n')
+	if err := c.w.Flush(); err != nil {
+		return nil, fmt.Errorf("serve: write request: %w", err)
+	}
+	return cl, nil
+}
+
+// roundTrip submits one request and waits for its response, surfacing
+// protocol-level errors (OK false) as Go errors.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	cl, err := c.send(req)
+	if err != nil {
+		return Response{}, err
+	}
+	<-cl.done
+	if cl.err != nil {
+		return Response{}, cl.err
+	}
+	if !cl.resp.OK {
+		return cl.resp, fmt.Errorf("serve: %s failed: %s", req.Op, cl.resp.Error)
+	}
+	return cl.resp, nil
+}
+
+// Network returns the session engine's network summary from hello.
+func (c *Client) Network() slimnoc.NetworkInfo { return c.network }
+
+// Engine returns the server's engine version string from hello.
+func (c *Client) Engine() string { return c.engine }
+
+// FlitBytes returns the session's negotiated flit width.
+func (c *Client) FlitBytes() int { return c.flitBytes }
+
+// Estimate returns the isolated (idle-network) latency of moving bytes
+// from src to dst.
+func (c *Client) Estimate(src, dst int, bytes int64) (slimnoc.EstimateResult, error) {
+	resp, err := c.roundTrip(Request{Op: OpEstimate, Src: &src, Dst: &dst, Bytes: bytes})
+	if err != nil {
+		return slimnoc.EstimateResult{}, err
+	}
+	if resp.Result == nil {
+		return slimnoc.EstimateResult{}, errors.New("serve: estimate response missing result")
+	}
+	return *resp.Result, nil
+}
+
+// EstimateFlits is Estimate with an explicit flit count.
+func (c *Client) EstimateFlits(src, dst, flits int) (slimnoc.EstimateResult, error) {
+	resp, err := c.roundTrip(Request{Op: OpEstimate, Src: &src, Dst: &dst, Flits: flits})
+	if err != nil {
+		return slimnoc.EstimateResult{}, err
+	}
+	if resp.Result == nil {
+		return slimnoc.EstimateResult{}, errors.New("serve: estimate response missing result")
+	}
+	return *resp.Result, nil
+}
+
+// Batch estimates a set of transfers as one contended episode (all
+// injected at cycle 0), amortizing one engine activation; results are in
+// request order.
+func (c *Client) Batch(transfers []WireTransfer) ([]slimnoc.EstimateResult, error) {
+	resp, err := c.roundTrip(Request{Op: OpBatch, Transfers: transfers})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(transfers) {
+		return nil, fmt.Errorf("serve: batch returned %d results for %d transfers", len(resp.Results), len(transfers))
+	}
+	return resp.Results, nil
+}
+
+// Occupy schedules a transfer on the session timeline no earlier than
+// start: the returned grant says when the route was actually free, when the
+// transfer finishes, and how long occupancy windows delayed it. The route's
+// links are reserved until the grant's finish.
+func (c *Client) Occupy(src, dst int, bytes int64, start int64) (Grant, error) {
+	resp, err := c.roundTrip(Request{Op: OpOccupy, Src: &src, Dst: &dst, Bytes: bytes, Start: start})
+	if err != nil {
+		return Grant{}, err
+	}
+	if resp.Grant == nil {
+		return Grant{}, errors.New("serve: occupy response missing grant")
+	}
+	return *resp.Grant, nil
+}
+
+// OccupyFlits is Occupy with an explicit flit count.
+func (c *Client) OccupyFlits(src, dst, flits int, start int64) (Grant, error) {
+	resp, err := c.roundTrip(Request{Op: OpOccupy, Src: &src, Dst: &dst, Flits: flits, Start: start})
+	if err != nil {
+		return Grant{}, err
+	}
+	if resp.Grant == nil {
+		return Grant{}, errors.New("serve: occupy response missing grant")
+	}
+	return *resp.Grant, nil
+}
+
+// Window reports the session's occupancy state.
+func (c *Client) Window() (WindowInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpWindow})
+	if err != nil {
+		return WindowInfo{}, err
+	}
+	if resp.Window == nil {
+		return WindowInfo{}, errors.New("serve: window response missing window info")
+	}
+	return *resp.Window, nil
+}
+
+// RouteWindow reports occupancy plus the earliest free cycle of the
+// src→dst route.
+func (c *Client) RouteWindow(src, dst int) (WindowInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpWindow, Src: &src, Dst: &dst})
+	if err != nil {
+		return WindowInfo{}, err
+	}
+	if resp.Window == nil {
+		return WindowInfo{}, errors.New("serve: window response missing window info")
+	}
+	return *resp.Window, nil
+}
+
+// ResetWindows clears the session's occupancy windows.
+func (c *Client) ResetWindows() error {
+	_, err := c.roundTrip(Request{Op: OpWindow, Reset: true})
+	return err
+}
+
+// Stats fetches the server's deterministic service counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("serve: stats response missing stats")
+	}
+	return *resp.Stats, nil
+}
+
+// Shutdown asks the server to stop after answering; the session is done
+// afterwards (Close still releases the transport).
+func (c *Client) Shutdown() error {
+	_, err := c.roundTrip(Request{Op: OpShutdown})
+	return err
+}
+
+// Close releases the transport. In-flight calls fail with a connection
+// error. Safe to call more than once.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() { err = c.rwc.Close() })
+	return err
+}

@@ -1,0 +1,121 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/slimnoc/serve"
+)
+
+// rawSession writes protocol lines verbatim and collects one response per
+// request, for tests that speak the wire format directly.
+func rawSession(t testing.TB, conn net.Conn, lines []string) []serve.Response {
+	t.Helper()
+	go func() {
+		for _, l := range lines {
+			if _, err := conn.Write([]byte(l + "\n")); err != nil {
+				return
+			}
+		}
+	}()
+	sc := bufio.NewScanner(conn)
+	resps := make([]serve.Response, 0, len(lines))
+	for range lines {
+		if !sc.Scan() {
+			t.Fatalf("connection ended after %d of %d responses: %v", len(resps), len(lines), sc.Err())
+		}
+		var r serve.Response
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("malformed response %q: %v", sc.Bytes(), err)
+		}
+		resps = append(resps, r)
+	}
+	return resps
+}
+
+// scriptRW adapts a scripted request stream and a response sink to the
+// ServeConn transport.
+type scriptRW struct {
+	io.Reader
+	io.Writer
+}
+
+// TestProtocolGolden pins the wire format: the scripted session in
+// testdata/protocol_requests.jsonl must produce byte-for-byte the responses
+// in testdata/protocol_golden.jsonl. The transcript covers every verb,
+// cache-hit repeats, occupancy backpressure, both error shapes, and the
+// deterministic stats block. Regenerate after an intentional protocol
+// change with:
+//
+//	UPDATE_PROTOCOL_GOLDEN=1 go test ./slimnoc/serve -run TestProtocolGolden
+func TestProtocolGolden(t *testing.T) {
+	reqs, err := os.ReadFile(filepath.Join("testdata", "protocol_requests.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(
+		serve.WithCache(openCache(t, filepath.Join(t.TempDir(), "golden.jsonl"))),
+		serve.WithPool(serve.NewPool(1)),
+	)
+	var out bytes.Buffer
+	err = srv.ServeConn(context.Background(), scriptRW{bytes.NewReader(reqs), &out})
+	if err != nil && !errors.Is(err, serve.ErrShutdown) {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "protocol_golden.jsonl")
+	if os.Getenv("UPDATE_PROTOCOL_GOLDEN") == "1" {
+		if err := os.WriteFile(goldenPath, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, out.Len())
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_PROTOCOL_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		gl := bytes.Split(golden, []byte("\n"))
+		ol := bytes.Split(out.Bytes(), []byte("\n"))
+		for i := 0; i < len(gl) || i < len(ol); i++ {
+			var g, o []byte
+			if i < len(gl) {
+				g = gl[i]
+			}
+			if i < len(ol) {
+				o = ol[i]
+			}
+			if !bytes.Equal(g, o) {
+				t.Fatalf("protocol output diverges from golden at line %d:\n golden: %s\n    got: %s\n(an intentional wire change needs UPDATE_PROTOCOL_GOLDEN=1 and a ProtocolVersion review)", i+1, g, o)
+			}
+		}
+		t.Fatal("protocol output differs from golden")
+	}
+
+	// Round-trip check: every golden line must decode into Response and
+	// re-encode to the identical bytes, so the pinned fixture stays in sync
+	// with the Go types.
+	sc := bufio.NewScanner(bytes.NewReader(golden))
+	for line := 1; sc.Scan(); line++ {
+		var r serve.Response
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("golden line %d does not decode: %v", line, err)
+		}
+		re, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, sc.Bytes()) {
+			t.Fatalf("golden line %d does not round-trip:\n golden: %s\nre-enc: %s", line, sc.Bytes(), re)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+// Per-session link-occupancy windows, the uPIMulator-style coupling: the
+// host asks for a transfer's latency, the service reserves the transfer's
+// route links for [start, start+latency), and a later transfer sharing any
+// of those links is pushed past the window — so concurrent in-flight
+// transfers create backpressure on the host's timeline without the host
+// understanding the topology.
+//
+// The model is deliberately conservative: a transfer occupies every link
+// of its route for its whole duration (no pipelining credit), matching the
+// occupancy-window scheme of the uPIMulator x BookSim2 report in
+// SNIPPETS.md. Windows are session-local — each client session owns its
+// timeline — and never feed back into the engine, which always estimates
+// on an idle network; contention within one engine episode is what batch
+// is for.
+
+// linkKey identifies one directed router-to-router link.
+type linkKey struct{ a, b int32 }
+
+// windowSet tracks busy-until cycles per directed link for one session.
+// The zero value is ready to use. Not safe for concurrent use: the session
+// loop is single-goroutine by protocol design (requests answer in order).
+type windowSet struct {
+	busy    map[linkKey]int64
+	horizon int64
+}
+
+// freeAt returns the earliest cycle >= at when every link along the router
+// path is free. Paths shorter than two routers occupy no links.
+func (w *windowSet) freeAt(path []int, at int64) int64 {
+	if w.busy == nil {
+		return at
+	}
+	for i := 0; i+1 < len(path); i++ {
+		k := linkKey{int32(path[i]), int32(path[i+1])}
+		if until, ok := w.busy[k]; ok && until > at {
+			at = until
+		}
+	}
+	return at
+}
+
+// reserve marks every link along the path busy until finish.
+func (w *windowSet) reserve(path []int, finish int64) {
+	if len(path) < 2 {
+		if finish > w.horizon {
+			w.horizon = finish
+		}
+		return
+	}
+	if w.busy == nil {
+		w.busy = make(map[linkKey]int64)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		k := linkKey{int32(path[i]), int32(path[i+1])}
+		if finish > w.busy[k] {
+			w.busy[k] = finish
+		}
+	}
+	if finish > w.horizon {
+		w.horizon = finish
+	}
+}
+
+// busyLinks counts links with an active window (any recorded busy-until;
+// windows are not garbage-collected against a current time because the
+// session timeline is the client's to define).
+func (w *windowSet) busyLinks() int { return len(w.busy) }
+
+// reset clears all windows and the horizon.
+func (w *windowSet) reset() {
+	w.busy = nil
+	w.horizon = 0
+}

@@ -13,6 +13,18 @@
 // sweeps and figures — identical points are computed once, and results
 // from an incompatible engine generation never collide with current ones
 // (the engine version participates in the hash).
+//
+// # Concurrency
+//
+// A Store is safe for concurrent use by any number of goroutines: every
+// operation serializes on one internal mutex, so readers see either the
+// state before a concurrent Put or the state after it, never a torn
+// record. The intended access pattern is read-mostly — many goroutines
+// Get cached results while an occasional writer Puts new ones (a campaign
+// filling in missing points, a serve session caching a fresh estimate) —
+// and that pattern is pinned under the race detector by
+// TestStoreConcurrentReadMostly. Puts are durable before they are visible:
+// a Get can only return a value that has already been synced to disk.
 package store
 
 import (

@@ -227,3 +227,76 @@ func TestStoreConcurrentPuts(t *testing.T) {
 		t.Errorf("recovered %d, len %d, want 0, 160", r.Recovered(), r.Len())
 	}
 }
+
+// TestStoreConcurrentReadMostly pins the read-mostly concurrency contract
+// documented in the package comment: many goroutines Get concurrently while
+// one writer appends, with no torn reads and no lost records. Run under
+// -race by the CI race job.
+func TestStoreConcurrentReadMostly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const preload = 64
+	keys := make([]Key, preload)
+	for i := range keys {
+		keys[i], _ = KeyOf("warm", i)
+		if err := s.Put(keys[i], json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const newRecords = 100
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := keys[(r*131+i)%preload]
+				v, ok := s.Get(k)
+				if !ok {
+					t.Errorf("reader %d: preloaded key %s missing", r, k)
+					return
+				}
+				want := fmt.Sprintf(`{"i":%d}`, (r*131+i)%preload)
+				if string(v) != want {
+					t.Errorf("reader %d: %s = %s, want %s", r, k, v, want)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < newRecords; i++ {
+			k, _ := KeyOf("fresh", i)
+			if err := s.Put(k, json.RawMessage(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+				t.Error(err)
+				return
+			}
+			// Identical re-put of a warm key exercises the no-op path readers
+			// race against.
+			if err := s.Put(keys[i%preload], json.RawMessage(fmt.Sprintf(`{"i":%d}`, i%preload))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if s.Len() != preload+newRecords {
+		t.Errorf("Len = %d, want %d", s.Len(), preload+newRecords)
+	}
+	s.Close()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Recovered() != 0 || r.Len() != preload+newRecords {
+		t.Errorf("reopen: recovered %d, len %d, want 0, %d", r.Recovered(), r.Len(), preload+newRecords)
+	}
+}
