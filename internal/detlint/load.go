@@ -1,0 +1,144 @@
+package detlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	// Path is the package's import path (e.g. repro/internal/sim).
+	Path string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset maps AST positions back to file:line:column.
+	Fset *token.FileSet
+	// Files holds the parsed non-test source files, comments included.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's per-expression facts.
+	Info *types.Info
+
+	waiverIdx map[string]map[int][]waiver
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Load resolves the go-list patterns relative to dir, builds export data
+// for every dependency via the go tool, and parses + type-checks each
+// matched package with the standard gc importer reading that export data.
+// It needs no module downloads: everything comes from the toolchain's
+// build cache. Test files are not loaded — the suite analyzes shipped
+// code, and testdata fixtures carry their own expectations.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	all, err := goList(dir, append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(all))
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("detlint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Standard || len(t.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("detlint: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("detlint: typecheck %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  t.ImportPath,
+			Dir:   t.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// goList runs `go list -json` with the given extra args in dir and decodes
+// the JSON stream.
+func goList(dir string, args []string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("detlint: go list: %s", msg)
+	}
+	var out []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("detlint: decode go list output: %w", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

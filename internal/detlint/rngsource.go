@@ -1,0 +1,61 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RNGSource enforces the DeriveSeed discipline: every random draw must
+// flow from an explicitly seeded *rand.Rand handed down by the campaign
+// layer, and no code may read the wall clock. The global math/rand
+// functions draw from a process-wide shared source whose state depends on
+// everything else that ran, and time.Now injects the host's clock — either
+// one silently breaks run-to-run byte identity.
+var RNGSource = &Analyzer{
+	Name: "rngsource",
+	Doc:  "no global math/rand draws or wall-clock reads; randomness comes from a seeded *rand.Rand",
+	Run:  runRNGSource,
+}
+
+// randConstructors are the math/rand package-level functions that build an
+// explicit generator rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// clockFuncs are the time functions that observe or schedule against the
+// wall clock.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func runRNGSource(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Only function references count: *rand.Rand and time.Duration
+			// in signatures are type names, not draws.
+			if _, isFunc := info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			switch pkgNameOf(info, sel.X) {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "global math/rand.%s draws from shared process state; use an explicitly seeded *rand.Rand (DeriveSeed discipline)", sel.Sel.Name)
+				}
+			case "time":
+				if clockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulated time must come from the engine's cycle counter", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

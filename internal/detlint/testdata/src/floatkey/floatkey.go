@@ -1,0 +1,47 @@
+// Package floatkey is the golden fixture for the floatkey analyzer.
+package floatkey
+
+type spec struct {
+	Rate float64
+	Name string
+}
+
+type intSpec struct {
+	N int
+}
+
+type nested struct {
+	S spec
+}
+
+type rateKey float64
+
+func mapKeys() {
+	var a map[float64]int      // want "floating-point map key"
+	b := map[spec]bool{}       // want "floating-point map key"
+	c := make(map[rateKey]int) // want "floating-point map key"
+	var d map[[2]float64]int   // want "floating-point map key"
+	var e map[string]float64   // float value, not key: no finding
+	var f map[intSpec]int      // no float component: no finding
+	var g map[*spec]int        // pointer key compares by address: no finding
+	_, _, _, _, _, _, _ = a, b, c, d, e, f, g
+}
+
+func compares(x, y spec, p, q intSpec, n, m nested) bool {
+	if x == y { // want "on float-bearing struct"
+		return true
+	}
+	if n != m { // want "on float-bearing struct"
+		return false
+	}
+	return p == q // no float component: no finding
+}
+
+func floatScalarCompare(a, b float64) bool {
+	return a == b // the scalar compare is explicit at the site: no finding
+}
+
+func waived(x, y spec) bool {
+	//detlint:allow floatkey fixture compares fully-pinned literals
+	return x == y
+}

@@ -1,0 +1,152 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer.
+package hotalloc
+
+import "fmt"
+
+type iface interface{ M() }
+
+type impl struct{ x int }
+
+func (impl) M() {}
+
+//sim:hot
+func hotMake(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//sim:hot
+func hotNew() *int {
+	return new(int) // want "new allocates"
+}
+
+//sim:hot
+func hotAddrLit() *impl {
+	return &impl{} // want "&-of composite literal allocates"
+}
+
+//sim:hot
+func hotSliceLit() []int {
+	return []int{1, 2} // want "slice literal allocates"
+}
+
+//sim:hot
+func hotMapLit() map[string]int {
+	return map[string]int{"a": 1} // want "map literal allocates"
+}
+
+//sim:hot
+func hotValueLit() impl {
+	return impl{x: 1} // value literal stays on the stack: no finding
+}
+
+//sim:hot
+func hotSelfAppend(xs []int, v int) []int {
+	xs = append(xs, v) // self-append recycling form: no finding
+	return xs
+}
+
+//sim:hot
+func hotGrowingAppend(xs, ys []int) []int {
+	zs := append(xs, ys...) // want "append may grow"
+	return zs
+}
+
+//sim:hot
+func hotFmt(v int) {
+	fmt.Println(v) // want "fmt.Println allocates"
+}
+
+//sim:hot
+func hotConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//sim:hot
+func hotConstConcat() string {
+	return "a" + "b" // constant-folded at compile time: no finding
+}
+
+//sim:hot
+func hotImmediateClosure(xs []int) int {
+	total := 0
+	forEach(xs, func(v int) { total += v }) // immediate call argument: no finding
+	return total
+}
+
+//sim:hot
+func forEach(xs []int, f func(int)) {
+	for _, v := range xs {
+		f(v)
+	}
+}
+
+//sim:hot
+func hotEscapingClosure() func() int {
+	n := 0
+	f := func() int { n++; return n } // want "closure may escape"
+	return f
+}
+
+//sim:hot
+func hotBoxAssign(v impl) {
+	var i iface
+	i = v // want "assignment boxes v into an interface"
+	_ = i
+}
+
+//sim:hot
+func hotBoxConvert(v impl) iface {
+	return iface(v) // want "conversion boxes v into an interface"
+}
+
+//sim:hot
+func hotNilAssign() {
+	var i iface
+	i = nil // nil stores no concrete value: no finding
+	_ = i
+}
+
+//sim:hot
+func hotIfaceToIface(i iface) any {
+	var a any
+	a = i // interface-to-interface carries the existing box: no finding
+	return a
+}
+
+func coldHelper(v int) int { return v + 1 }
+
+//sim:hot
+func hotHelper(v int) int { return v - 1 }
+
+// Annotation propagation: the //sim:hot set must be closed over the
+// same-package call graph.
+
+//sim:hot
+func hotCallsCold(v int) int {
+	return coldHelper(v) // want "calls coldHelper, which is not annotated"
+}
+
+//sim:hot
+func hotCallsHot(v int) int {
+	return hotHelper(v) // annotated callee: no finding
+}
+
+//sim:hot
+func hotCallsConcreteColdMethod(v impl) {
+	v.M() // want "calls M, which is not annotated"
+}
+
+//sim:hot
+func hotCallsInterfaceMethod(i iface) {
+	i.M() // interface dispatch is outside the annotation set: no finding
+}
+
+//sim:hot
+func hotWaivedMake(n int) []int {
+	//detlint:allow hotalloc one-time growth amortised across the run
+	return make([]int, n)
+}
+
+func coldMake(n int) []int {
+	return make([]int, n) // not annotated: hotalloc does not apply
+}

@@ -1,0 +1,7 @@
+// Package empty is configured as a hot package but annotates nothing, so
+// hotcover must flag the empty annotation set.
+package empty // want "declares no //sim:hot functions"
+
+func cold() {}
+
+var _ = cold

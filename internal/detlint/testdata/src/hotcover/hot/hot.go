@@ -1,0 +1,19 @@
+// Package hot carries a valid //sim:hot annotation set plus misplaced
+// directives for the hotcover fixture.
+package hot
+
+//sim:hot
+func annotated() {}
+
+// step advances the fixture loop.
+//
+//sim:hot
+func annotatedWithDoc() { annotated() }
+
+/* want "misplaced //sim:hot" */ //sim:hot
+type notAFunc int
+
+func body() int {
+	/* want "misplaced //sim:hot" */ //sim:hot
+	return int(notAFunc(0))
+}

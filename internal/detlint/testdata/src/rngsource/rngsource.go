@@ -1,0 +1,44 @@
+// Package rngsource is the golden fixture for the rngsource analyzer.
+package rngsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() int {
+	n := rand.Intn(10)                 // want "global math/rand.Intn"
+	f := rand.Float64()                // want "global math/rand.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand.Shuffle"
+	return n + int(f)
+}
+
+func seededIsFine(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) + int(rng.Float64()*10)
+}
+
+func typeReferencesAreFine(rng *rand.Rand, d time.Duration) *rand.Zipf {
+	_ = d
+	return rand.NewZipf(rng, 1.1, 1.0, 100)
+}
+
+func wallClock() time.Time {
+	t := time.Now()   // want "time.Now reads the wall clock"
+	_ = time.Since(t) // want "time.Since reads the wall clock"
+	return t
+}
+
+func clockFuncValue() func() time.Time {
+	return time.Now // want "time.Now reads the wall clock"
+}
+
+func waived() time.Time {
+	//detlint:allow rngsource telemetry timestamp outside any simulated path
+	return time.Now()
+}
+
+func waiverNeedsReason() time.Time {
+	//detlint:allow rngsource
+	return time.Now() // want "time.Now reads the wall clock"
+}

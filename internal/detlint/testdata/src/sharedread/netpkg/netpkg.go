@@ -1,0 +1,19 @@
+// Package netpkg declares the shared read-only fixture type, standing in
+// for the repository's topo.Network.
+package netpkg
+
+// Network is shared read-only after construction; only this package (the
+// configured constructor set) may write its fields.
+type Network struct {
+	Name string
+	N    int
+	Adj  [][]int
+}
+
+// New builds a Network. Constructor-package writes are unrestricted.
+func New(n int) *Network {
+	net := &Network{N: n}
+	net.Adj = make([][]int, n)
+	net.Name = "fixture"
+	return net
+}

@@ -58,6 +58,7 @@ func (p *Paths) CountMinPaths(src, dst int) int {
 func (p *Paths) AvgPathDiversity() float64 {
 	hist := p.PathDiversity()
 	pairs, total := 0, 0
+	//detlint:ordered commutative integer sums; iteration order cannot reach the result
 	for c, n := range hist {
 		pairs += n
 		total += c * n

@@ -17,13 +17,21 @@ type ring[T any] struct {
 	n    int
 }
 
-func (r *ring[T]) len() int    { return r.n }
+//sim:hot
+func (r *ring[T]) len() int { return r.n }
+
+//sim:hot
 func (r *ring[T]) empty() bool { return r.n == 0 }
-func (r *ring[T]) front() T    { return r.buf[r.head] }
+
+//sim:hot
+func (r *ring[T]) front() T { return r.buf[r.head] }
 
 // at returns the i-th element from the front (0 = front).
+//
+//sim:hot
 func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)%len(r.buf)] }
 
+//sim:hot
 func (r *ring[T]) push(v T) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -32,6 +40,7 @@ func (r *ring[T]) push(v T) {
 	r.n++
 }
 
+//sim:hot
 func (r *ring[T]) pop() T {
 	v := r.buf[r.head]
 	var zero T
@@ -44,7 +53,9 @@ func (r *ring[T]) pop() T {
 	return v
 }
 
+//sim:hot
 func (r *ring[T]) grow() {
+	//detlint:allow hotalloc amortised doubling; capacity is retained for the run and steady state never grows
 	nb := make([]T, max(2*len(r.buf), 8))
 	for i := 0; i < r.n; i++ {
 		nb[i] = r.buf[(r.head+i)%len(r.buf)]
@@ -70,6 +81,7 @@ func newWheel[T any](horizon int64) *wheel[T] {
 	return &wheel[T]{buckets: make([][]T, horizon)}
 }
 
+//sim:hot
 func (w *wheel[T]) schedule(now, at int64, v T) {
 	if at <= now || at >= now+int64(len(w.buckets)) {
 		panic("sim: wheel event outside horizon")
@@ -87,6 +99,8 @@ func (w *wheel[T]) schedule(now, at int64, v T) {
 // future cycles — callers must finish iterating (and clear element
 // references) before the wheel can revisit the same bucket, which is
 // guaranteed within one cycle's processing.
+//
+//sim:hot
 func (w *wheel[T]) take(now int64) []T {
 	b := now % int64(len(w.buckets))
 	evs := w.buckets[b]
@@ -108,6 +122,7 @@ func newActiveSet(n int) activeSet {
 	return activeSet{in: make([]bool, n)}
 }
 
+//sim:hot
 func (a *activeSet) add(i int) {
 	if !a.in[i] {
 		a.in[i] = true
@@ -115,6 +130,7 @@ func (a *activeSet) add(i int) {
 	}
 }
 
+//sim:hot
 func (a *activeSet) size() int { return len(a.list) }
 
 // forEachSorted visits the active indices in ascending order; entries whose
@@ -122,6 +138,8 @@ func (a *activeSet) size() int { return len(a.list) }
 // this same set (additions to other sets are fine) — the engine's phase
 // structure guarantees that: links activate routers, routers activate links,
 // NIC injection activates routers, never an entity of their own kind.
+//
+//sim:hot
 func (a *activeSet) forEachSorted(step func(i int) bool) {
 	slices.Sort(a.list)
 	keep := a.list[:0]

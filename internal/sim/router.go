@@ -15,6 +15,8 @@ const (
 // stepRouters performs ejection, central-buffer reads/writes, switch
 // allocation and injection for every active router, in ascending router
 // index order (matching the original full scan).
+//
+//sim:hot
 func (s *Sim) stepRouters() {
 	// Sparse reset of last cycle's ejection-port budget.
 	for _, slot := range s.ejTouched {
@@ -28,6 +30,7 @@ func (s *Sim) stepRouters() {
 	})
 }
 
+//sim:hot
 func (s *Sim) stepRouter(rs *routerState) {
 	kp := rs.kp
 	outUsed, inUsed := rs.outUsed, rs.inUsed
@@ -106,6 +109,8 @@ func (s *Sim) stepRouter(rs *routerState) {
 }
 
 // markEjUsed consumes a node's ejection budget for this cycle.
+//
+//sim:hot
 func (s *Sim) markEjUsed(slot int) {
 	s.ejUsed[slot] = true
 	s.ejTouched = append(s.ejTouched, int32(slot))
@@ -113,6 +118,8 @@ func (s *Sim) markEjUsed(slot int) {
 
 // tryAdvance attempts to move the head flit of input (pi, vc). Returns true
 // if the flit was consumed.
+//
+//sim:hot
 func (s *Sim) tryAdvance(rs *routerState, f flit, outUsed []bool, cbWrote *bool, pi, vc int) bool {
 	p := f.pkt
 	if int(p.path[f.hop]) != rs.id {
@@ -153,6 +160,8 @@ func (s *Sim) tryAdvance(rs *routerState, f flit, outUsed []bool, cbWrote *bool,
 // free and no CB traffic is queued for it; otherwise the whole packet
 // reserves CB space atomically (§4.3) and streams through the buffered
 // 4-cycle path.
+//
+//sim:hot
 func (s *Sim) tryAdvanceCBR(rs *routerState, f flit, outUsed []bool, cbWrote *bool, pi, vc, outPort, outVC int) bool {
 	p := f.pkt
 	q := &rs.cbq[outPort*s.cfg.VCs+outVC]
@@ -209,6 +218,8 @@ func (s *Sim) tryAdvanceCBR(rs *routerState, f flit, outUsed []bool, cbWrote *bo
 }
 
 // allocCBPacket takes a CB packet record from the freelist.
+//
+//sim:hot
 func (s *Sim) allocCBPacket() *cbPacket {
 	if n := len(s.cbPool); n > 0 {
 		cp := s.cbPool[n-1]
@@ -216,11 +227,14 @@ func (s *Sim) allocCBPacket() *cbPacket {
 		s.cbPool = s.cbPool[:n-1]
 		return cp
 	}
+	//detlint:allow hotalloc freelist miss only; steady state recycles via freeCBPacket (pinned by TestSteadyStateZeroAllocs)
 	return &cbPacket{}
 }
 
 // freeCBPacket recycles a drained CB packet record, keeping its ring's
 // capacity.
+//
+//sim:hot
 func (s *Sim) freeCBPacket(cp *cbPacket) {
 	cp.pkt = nil
 	s.cbPool = append(s.cbPool, cp)
@@ -229,6 +243,8 @@ func (s *Sim) freeCBPacket(cp *cbPacket) {
 // cbDrain moves at most one flit from the central buffer to an output (the
 // CB's single read port), scanning (port, vc) queues in a deterministic
 // rotating order.
+//
+//sim:hot
 func (s *Sim) cbDrain(rs *routerState, outUsed []bool) {
 	total := rs.kp * s.cfg.VCs
 	start := int(s.now) % maxi(total, 1)
@@ -264,6 +280,7 @@ func (s *Sim) cbDrain(rs *routerState, outUsed []bool) {
 	}
 }
 
+//sim:hot
 func maxi(a, b int) int {
 	if a > b {
 		return a
@@ -272,6 +289,8 @@ func maxi(a, b int) int {
 }
 
 // outputReady checks VC ownership and downstream space for one flit.
+//
+//sim:hot
 func (s *Sim) outputReady(rs *routerState, p *packet, outPort, outVC int, head bool) bool {
 	owner := rs.outOwner[outPort][outVC]
 	if head {
@@ -289,6 +308,8 @@ func (s *Sim) outputReady(rs *routerState, p *packet, outPort, outVC int, head b
 
 // linkHasRoom reports whether the elastic link pipeline toward outPort can
 // accept another flit on outVC (capacity = latency stages + 1 slave latch).
+//
+//sim:hot
 func (s *Sim) linkHasRoom(rs *routerState, outPort, outVC int) bool {
 	l := &s.links[rs.outLink[outPort]]
 	return l.perVCInFly[outVC] < int(l.latency)+1
@@ -297,6 +318,8 @@ func (s *Sim) linkHasRoom(rs *routerState, outPort, outVC int) bool {
 // sendFlit commits a flit to an output: ownership transitions, credit
 // consumption, link occupancy, and the traversal itself. The flit leaves
 // the router, so its work counter drops and the link wakes.
+//
+//sim:hot
 func (s *Sim) sendFlit(rs *routerState, f flit, outPort, outVC int, delay int64) {
 	p := f.pkt
 	if f.head() {
@@ -324,6 +347,8 @@ func (s *Sim) sendFlit(rs *routerState, f flit, outPort, outVC int, delay int64)
 
 // popInput removes the head flit from input (pi, vc): returns a credit
 // upstream (EdgeBuffers) and updates the UGAL occupancy signal.
+//
+//sim:hot
 func (s *Sim) popInput(rs *routerState, pi, vc int) {
 	rs.in[pi][vc].q.pop()
 	l := &s.links[rs.inLink[pi]]
@@ -339,6 +364,8 @@ func (s *Sim) popInput(rs *routerState, pi, vc int) {
 
 // portToward returns the output port index at router r leading to neighbour
 // nxt, panicking if the link does not exist.
+//
+//sim:hot
 func (s *Sim) portToward(r, nxt int) int {
 	pos, ok := s.portTowardOK(r, nxt)
 	if !ok {
@@ -348,6 +375,8 @@ func (s *Sim) portToward(r, nxt int) int {
 }
 
 // portTowardOK binary-searches r's sorted adjacency for nxt.
+//
+//sim:hot
 func (s *Sim) portTowardOK(r, nxt int) (int, bool) {
 	adj := s.net.Adj[r]
 	lo, hi := 0, len(adj)
@@ -366,16 +395,22 @@ func (s *Sim) portTowardOK(r, nxt int) (int, bool) {
 }
 
 // ejSlot identifies a node's ejection port (one per node).
+//
+//sim:hot
 func (s *Sim) ejSlot(node int) int { return node }
 
 // ejectWithDelay consumes a flit at its destination, accounting for the
 // final router traversal via the ejection timing wheel.
+//
+//sim:hot
 func (s *Sim) ejectWithDelay(rs *routerState, f flit) {
 	s.ejectWheel.schedule(s.now, s.now+routerDelayDirect, f)
 	rs.work--
 }
 
 // flushEjections completes delayed ejections whose router traversal is done.
+//
+//sim:hot
 func (s *Sim) flushEjections() {
 	evs := s.ejectWheel.take(s.now)
 	for _, f := range evs {

@@ -229,7 +229,10 @@ type flit struct {
 	hop int32 // hop index: the link path[hop] -> path[hop+1] it travels next
 }
 
+//sim:hot
 func (f flit) head() bool { return f.idx == 0 }
+
+//sim:hot
 func (f flit) tail() bool { return int(f.idx) == f.pkt.flits-1 }
 
 // linkFlit is a flit in flight on a wire.
@@ -759,6 +762,8 @@ func (s *Sim) RunContext(ctx context.Context, every int64, onProgress func(Progr
 
 // step advances the simulation by one cycle. The phase order matches the
 // original full-scan engine exactly; only the iteration strategy changed.
+//
+//sim:hot
 func (s *Sim) step() {
 	s.stepGenerate()
 	s.stepCredits()
@@ -795,6 +800,8 @@ func percentile(xs []int64, p float64) float64 {
 // queues. Generation stops at the end of the measurement window so the drain
 // phase empties the network; a non-zero InFlight after Run therefore
 // indicates a deadlock or livelock.
+//
+//sim:hot
 func (s *Sim) stepGenerate() {
 	if s.now >= s.cfg.WarmupCycles+s.cfg.MeasureCycles {
 		return
@@ -804,6 +811,8 @@ func (s *Sim) stepGenerate() {
 
 // allocPacket takes a packet from the freelist (or allocates one) and
 // assigns its ID.
+//
+//sim:hot
 func (s *Sim) allocPacket() *packet {
 	var p *packet
 	if n := len(s.pktPool); n > 0 {
@@ -812,6 +821,7 @@ func (s *Sim) allocPacket() *packet {
 		s.pktPool = s.pktPool[:n-1]
 		s.eng.pktReuses++
 	} else {
+		//detlint:allow hotalloc freelist miss only; steady state recycles via freePacket (pinned by TestSteadyStateZeroAllocs)
 		p = &packet{}
 		s.eng.pktAllocs++
 	}
@@ -823,11 +833,14 @@ func (s *Sim) allocPacket() *packet {
 
 // freePacket recycles a fully ejected packet. Borrowed route views are
 // dropped; the packet-owned buffers keep their capacity for reuse.
+//
+//sim:hot
 func (s *Sim) freePacket(p *packet) {
 	p.path, p.vcs = nil, nil
 	s.pktPool = append(s.pktPool, p)
 }
 
+//sim:hot
 func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 	if flits <= 0 {
 		flits = s.cfg.PacketFlits
@@ -856,6 +869,7 @@ func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 	if s.cfg.Scheme == CentralBuffer {
 		// Reset the per-hop bypass decisions, reusing capacity.
 		if cap(p.cbState) < len(p.path) {
+			//detlint:allow hotalloc capacity growth only; recycled packets reuse cbState backing at steady state
 			p.cbState = make([]uint8, len(p.path))
 		} else {
 			p.cbState = p.cbState[:len(p.path)]
@@ -870,6 +884,8 @@ func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 }
 
 // stepCredits applies the credit returns due this cycle.
+//
+//sim:hot
 func (s *Sim) stepCredits() {
 	evs := s.creditWheel.take(s.now)
 	for _, ev := range evs {
@@ -880,6 +896,8 @@ func (s *Sim) stepCredits() {
 // stepLinks delivers arrived flits into input buffers (or CB staging), one
 // VC lane at a time (ElastiStore-style independent per-VC handshakes). Only
 // links carrying flits are visited.
+//
+//sim:hot
 func (s *Sim) stepLinks() {
 	s.activeLinks.forEachSorted(func(li int) bool {
 		l := &s.links[li]
@@ -906,6 +924,8 @@ func (s *Sim) stepLinks() {
 }
 
 // routerGainsFlit accounts a flit arriving at router r and wakes it.
+//
+//sim:hot
 func (s *Sim) routerGainsFlit(r int) {
 	s.routers[r].work++
 	s.activeRouters.add(r)
@@ -913,6 +933,8 @@ func (s *Sim) routerGainsFlit(r int) {
 
 // stepInject moves flits from source queues into NIC injection buffers.
 // Only NICs with queued packets are visited.
+//
+//sim:hot
 func (s *Sim) stepInject() {
 	s.activeNICs.forEachSorted(func(v int) bool {
 		nc := &s.nics[v]
@@ -939,6 +961,7 @@ func (s *Sim) stepInject() {
 	})
 }
 
+//sim:hot
 func (s *Sim) flitCountInjected(p *packet) {
 	if s.now >= s.cfg.WarmupCycles && s.now < s.cfg.WarmupCycles+s.cfg.MeasureCycles {
 		s.flitsInjected++
@@ -947,6 +970,8 @@ func (s *Sim) flitCountInjected(p *packet) {
 }
 
 // eject consumes a flit at its destination.
+//
+//sim:hot
 func (s *Sim) eject(f flit) {
 	p := f.pkt
 	s.inFlightFlits--

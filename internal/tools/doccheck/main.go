@@ -1,7 +1,8 @@
 // Command doccheck enforces godoc completeness: every exported identifier
 // in the packages under the given directories must carry a doc comment.
-// CI runs it over slimnoc/ and internal/ so the public facade and the
-// implementation layers stay navigable from `go doc` alone.
+// The CI lint job runs it over slimnoc/ and internal/ (alongside detlint
+// and linkcheck) so the public facade and the implementation layers stay
+// navigable from `go doc` alone.
 //
 // Usage:
 //

@@ -2,7 +2,8 @@
 // files: every `[text](target)` whose target is a relative path must
 // resolve to an existing file or directory (anchors and URL schemes are
 // skipped — CI stays hermetic, no network). It exists so documentation
-// reorganisations cannot silently strand README/docs cross-references.
+// reorganisations cannot silently strand README/docs cross-references;
+// the CI lint job runs it alongside detlint and doccheck.
 //
 // Usage:
 //

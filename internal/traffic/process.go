@@ -41,9 +41,13 @@ type Bernoulli struct{}
 func (Bernoulli) Name() string { return "bernoulli" }
 
 // Begin implements Process (memoryless: no per-cycle state, no RNG draw).
+//
+//sim:hot
 func (Bernoulli) Begin(t int64, rng *rand.Rand) {}
 
 // Inject implements Process.
+//
+//sim:hot
 func (Bernoulli) Inject(rng *rand.Rand, node int, prob float64) bool {
 	return rng.Float64() < prob
 }
@@ -93,10 +97,14 @@ func NewOnOff(n int, burstLen, duty float64) *OnOff {
 func (o *OnOff) Name() string { return "burst" }
 
 // Begin implements Process (state is per node, advanced in Inject).
+//
+//sim:hot
 func (o *OnOff) Begin(t int64, rng *rand.Rand) {}
 
 // Inject implements Process: advance the node's two-state chain, then draw
 // the injection decision while on.
+//
+//sim:hot
 func (o *OnOff) Inject(rng *rand.Rand, node int, prob float64) bool {
 	if o.on[node] {
 		if rng.Float64() < o.exitOn {
@@ -148,6 +156,8 @@ func NewModulated(factor, period float64) *Modulated {
 func (m *Modulated) Name() string { return "mmpp" }
 
 // Begin implements Process: one global state-transition draw per cycle.
+//
+//sim:hot
 func (m *Modulated) Begin(t int64, rng *rand.Rand) {
 	if rng.Float64() < m.flip {
 		m.high = !m.high
@@ -155,6 +165,8 @@ func (m *Modulated) Begin(t int64, rng *rand.Rand) {
 }
 
 // Inject implements Process.
+//
+//sim:hot
 func (m *Modulated) Inject(rng *rand.Rand, node int, prob float64) bool {
 	if m.high {
 		prob *= m.Factor
@@ -187,9 +199,13 @@ type Fixed struct {
 func (Fixed) Name() string { return "fixed" }
 
 // Mean implements Sizer.
+//
+//sim:hot
 func (f Fixed) Mean() float64 { return float64(f.Flits) }
 
 // Draw implements Sizer.
+//
+//sim:hot
 func (f Fixed) Draw(rng *rand.Rand) int { return f.Flits }
 
 // Bimodal mixes short control packets with long data packets: a packet is
@@ -206,11 +222,15 @@ type Bimodal struct {
 func (Bimodal) Name() string { return "bimodal" }
 
 // Mean implements Sizer.
+//
+//sim:hot
 func (b Bimodal) Mean() float64 {
 	return b.ShortFrac*float64(b.Short) + (1-b.ShortFrac)*float64(b.Long)
 }
 
 // Draw implements Sizer.
+//
+//sim:hot
 func (b Bimodal) Draw(rng *rand.Rand) int {
 	if rng.Float64() < b.ShortFrac {
 		return b.Short

@@ -59,8 +59,11 @@ var _ sim.Source = (*ReqReply)(nil)
 // requests. On the first cycle this emits Window requests per node (the
 // cold-start burst); afterwards it emits one request per reply received, the
 // steady closed-loop state.
+//
+//sim:hot
 func (s *ReqReply) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int)) {
 	if s.outstanding == nil {
+		//detlint:allow hotalloc one-time lazy init on first cycle, outside the measured steady state
 		s.outstanding = make([]int, s.N)
 	}
 	for node := 0; node < s.N; node++ {
@@ -76,6 +79,8 @@ func (s *ReqReply) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, 
 // (data-packet sized, back to the requester), and a delivered reply returns
 // window credit to its destination — the original requester — so Generate
 // issues a replacement next cycle.
+//
+//sim:hot
 func (s *ReqReply) OnDelivered(t int64, src, dst, flits, class int, emit func(src, dst, flits, class int)) {
 	switch class {
 	case ClassRequest:

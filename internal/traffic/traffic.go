@@ -46,6 +46,8 @@ type Uniform struct {
 func (Uniform) Name() string { return "RND" }
 
 // Dest implements Pattern.
+//
+//sim:hot
 func (u Uniform) Dest(rng *rand.Rand, src int) int {
 	if u.N < 2 {
 		return src
@@ -59,6 +61,8 @@ func (u Uniform) Dest(rng *rand.Rand, src int) int {
 }
 
 // nodeBits returns the number of bits needed to index n nodes.
+//
+//sim:hot
 func nodeBits(n int) int {
 	b := 0
 	for (1 << b) < n {
@@ -89,6 +93,8 @@ type Shuffle struct {
 func (Shuffle) Name() string { return "SHF" }
 
 // Dest implements Pattern.
+//
+//sim:hot
 func (s Shuffle) Dest(rng *rand.Rand, src int) int {
 	b := nodeBits(s.N)
 	if b == 0 {
@@ -114,6 +120,8 @@ type Reversal struct {
 func (Reversal) Name() string { return "REV" }
 
 // Dest implements Pattern.
+//
+//sim:hot
 func (r Reversal) Dest(rng *rand.Rand, src int) int {
 	b := nodeBits(r.N)
 	d := 0
@@ -185,6 +193,8 @@ func (a *Adversarial) Name() string {
 }
 
 // Dest implements Pattern.
+//
+//sim:hot
 func (a *Adversarial) Dest(rng *rand.Rand, src int) int {
 	p := a.net.P
 	r := a.net.NodeRouter(src)
@@ -206,6 +216,8 @@ type Asymmetric struct {
 func (Asymmetric) Name() string { return "ASYM" }
 
 // Dest implements Pattern.
+//
+//sim:hot
 func (a Asymmetric) Dest(rng *rand.Rand, src int) int {
 	half := a.N / 2
 	d := src % half
@@ -239,6 +251,8 @@ type Hotspot struct {
 func (h Hotspot) Name() string { return "HOT+" + h.Base.Name() }
 
 // Dest implements Pattern.
+//
+//sim:hot
 func (h Hotspot) Dest(rng *rand.Rand, src int) int {
 	if rng.Float64() >= h.Frac {
 		return h.Base.Dest(rng, src)
@@ -270,13 +284,17 @@ type Synthetic struct {
 var _ sim.Source = (*Synthetic)(nil)
 
 // Generate implements sim.Source.
+//
+//sim:hot
 func (s *Synthetic) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int)) {
 	// Defaults are pinned on first use (not per cycle) so the interface
 	// conversions never allocate inside the steady-state loop.
 	if s.Process == nil {
+		//detlint:allow hotalloc one-time default pinning on first use; never reassigned in steady state
 		s.Process = Bernoulli{}
 	}
 	if s.Sizer == nil {
+		//detlint:allow hotalloc one-time default pinning on first use; never reassigned in steady state
 		s.Sizer = Fixed{Flits: s.PacketFlits}
 	}
 	prob := s.Rate / s.Sizer.Mean()
@@ -289,6 +307,8 @@ func (s *Synthetic) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits,
 }
 
 // OnDelivered implements sim.Source (synthetic traffic has no replies).
+//
+//sim:hot
 func (s *Synthetic) OnDelivered(t int64, src, dst, flits, class int, emit func(src, dst, flits, class int)) {
 }
 
