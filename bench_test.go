@@ -378,9 +378,13 @@ func BenchmarkAblSmartHopFactor(b *testing.B) {
 // BenchmarkEngine measures raw single-point simulator throughput on
 // fig12-style configurations: the SN-S network under uniform random traffic
 // at low, mid and high load, with and without SMART. Low and mid load are
-// where idle-scan waste dominated the pre-active-set engine, so these
-// sub-benchmarks are the headline numbers for engine-core optimisations
-// (tracked in BENCH_sim.json).
+// where idle-scan waste dominated the pre-active-set engine; high and
+// saturated load are where per-flit router work dominates, which the SoA
+// state layout plus domain-parallel stepping attack (every run here uses
+// WithEngineJobs(-1), all cores — results are byte-identical to serial, so
+// the fixture stays comparable across machine shapes). These sub-benchmarks
+// are the headline numbers for engine-core optimisations (tracked in
+// BENCH_sim.json).
 func BenchmarkEngine(b *testing.B) {
 	for _, bc := range []struct {
 		name  string
@@ -390,6 +394,7 @@ func BenchmarkEngine(b *testing.B) {
 		{"low-load", 0.008, true},
 		{"mid-load", 0.06, true},
 		{"high-load", 0.24, true},
+		{"sat-load", 0.40, true},
 		{"low-load-nosmart", 0.008, false},
 	} {
 		bc := bc
@@ -402,7 +407,7 @@ func BenchmarkEngine(b *testing.B) {
 			}
 			spec.Sim.Seed = 1
 			for i := 0; i < b.N; i++ {
-				res, err := slimnoc.Run(context.Background(), spec)
+				res, err := slimnoc.Run(context.Background(), spec, slimnoc.WithEngineJobs(-1))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 
 	"repro/slimnoc/serve"
@@ -47,6 +48,7 @@ func main() {
 		listen   = flag.String("listen", "", "TCP address to serve on (empty = one stdio session)")
 		storeDir = flag.String("store", "", "result-store directory for the response cache (empty = no cache; reruns re-simulate)")
 		pool     = flag.Int("pool", 0, "concurrent engine-activation bound (0 = NumCPU)")
+		ejobs    = flag.Int("engine-jobs", 0, "parallel engine domains per episode (0/1 = serial, -1 = NumCPU); responses are byte-identical at every value")
 		maxBatch = flag.Int("max-batch", serve.DefaultMaxBatch, "largest accepted batch request")
 	)
 	flag.Parse()
@@ -54,18 +56,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "snserve: unexpected argument %q (requests arrive on stdin or -listen, not argv)\n", flag.Arg(0))
 		os.Exit(2)
 	}
-	if err := run(*listen, *storeDir, *pool, *maxBatch); err != nil {
+	if err := run(*listen, *storeDir, *pool, *ejobs, *maxBatch); err != nil {
 		fmt.Fprintf(os.Stderr, "snserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, storeDir string, pool, maxBatch int) error {
+func run(listen, storeDir string, pool, engineJobs, maxBatch int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if engineJobs < 0 {
+		engineJobs = runtime.NumCPU()
+	}
+	p := serve.NewPool(pool)
+	p.EngineJobs = engineJobs
 	opts := []serve.ServerOption{
-		serve.WithPool(serve.NewPool(pool)),
+		serve.WithPool(p),
 		serve.WithMaxBatch(maxBatch),
 	}
 	if storeDir != "" {

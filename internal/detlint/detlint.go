@@ -23,13 +23,22 @@
 //     the aggregate AllocsPerRun==0 tests into line-precise diagnostics.
 //   - sharedread: the read-only WithNetwork/WithRouteTable/Estimator
 //     sharing contracts — writes to network or route-table state outside
-//     their constructor packages are flagged.
+//     their constructor packages are flagged. A second mode guards the
+//     domain-parallel engine: inside functions annotated `//sim:domain`
+//     (code that runs concurrently across router domains each cycle),
+//     writes to the configured cross-domain shared fields
+//     (Config.DomainSharedFields — link handshake state, the timing
+//     wheels, the Sim counters) are flagged unless waived in place with
+//     the reason the write is race-free (sender-/receiver-exclusive
+//     sides of a directed link, or effects staged per domain and merged
+//     serially).
 //   - floatkey:   no floating-point map keys, and no `==`/`!=` on
 //     float-bearing structs, anywhere near canonical encoding or PointKey
 //     derivation (floats make key identity platform- and history-dependent).
 //   - hotcover:   the self-check that the `//sim:hot` annotation set is
-//     non-empty in the engine packages and every annotation sits on a
-//     function declaration (a misplaced directive silently guards nothing).
+//     non-empty in the engine packages and every `//sim:hot` or
+//     `//sim:domain` annotation sits on a function declaration (a
+//     misplaced directive silently guards nothing).
 //
 // Any diagnostic can be waived at its line (or the line below a standalone
 // comment) with `//detlint:allow <analyzer> <reason>`; maporder accepts the
@@ -116,6 +125,12 @@ type Config struct {
 	// LabelFields lists field names exempt from sharedread: pure labels
 	// (display names) that carry no structural or routed state.
 	LabelFields []string
+	// DomainSharedFields lists "pkgpath.TypeName.Field" fields that are
+	// shared across router domains during the engine's parallel phases.
+	// sharedread flags writes to them inside //sim:domain functions; each
+	// legitimate write site carries a waiver explaining why it is race-free
+	// (exclusive link side, or staged-and-merged effect).
+	DomainSharedFields []string
 	// HotPackages lists package paths that must declare at least one
 	// //sim:hot function (hotcover): the engine cycle loop lives there.
 	HotPackages []string
@@ -141,6 +156,21 @@ func DefaultConfig() *Config {
 			"repro/internal/core",
 		},
 		LabelFields: []string{"Name"},
+		// The cross-domain surface of the parallel engine: link handshake
+		// and occupancy state (written by exactly one side per phase), the
+		// shared timing wheels, and the Sim-level counters (updated only
+		// through per-domain staging merged serially).
+		DomainSharedFields: []string{
+			"repro/internal/sim.link.pending",
+			"repro/internal/sim.link.perVCInFly",
+			"repro/internal/sim.link.occupancy",
+			"repro/internal/sim.wheel.buckets",
+			"repro/internal/sim.wheel.pending",
+			"repro/internal/sim.wheel.peak",
+			"repro/internal/sim.Sim.forwardedFlits",
+			"repro/internal/sim.Sim.bypassFlits",
+			"repro/internal/sim.Sim.bufferedFlits",
+		},
 		HotPackages: []string{"repro/internal/sim", "repro/internal/traffic"},
 	}
 }
@@ -213,6 +243,13 @@ func skipped(cfg *Config, path string) bool {
 // zero-allocation rules. It must appear as its own line inside the
 // function's doc comment.
 const HotAnnotation = "//sim:hot"
+
+// DomainAnnotation marks a function as running concurrently across router
+// domains during the engine's parallel phases, placing its writes under
+// sharedread's cross-domain rules (Config.DomainSharedFields). Same
+// placement contract as HotAnnotation: a line of the function's doc
+// comment.
+const DomainAnnotation = "//sim:domain"
 
 // waiverPrefix introduces the generic waiver directive; orderedDirective is
 // the maporder shorthand from the issue-tracker contract.
@@ -337,19 +374,23 @@ func pkgNameOf(info *types.Info, x ast.Expr) string {
 	return pn.Imported().Path()
 }
 
-// funcDocHot reports whether a function declaration carries the //sim:hot
-// annotation as a line of its doc comment.
-func funcDocHot(d *ast.FuncDecl) bool {
+// funcDocHas reports whether a function declaration carries the annotation
+// as a line of its doc comment.
+func funcDocHas(d *ast.FuncDecl, annotation string) bool {
 	if d.Doc == nil {
 		return false
 	}
 	for _, c := range d.Doc.List {
-		if strings.TrimSpace(c.Text) == HotAnnotation {
+		if strings.TrimSpace(c.Text) == annotation {
 			return true
 		}
 	}
 	return false
 }
+
+// funcDocHot reports whether a function declaration carries the //sim:hot
+// annotation as a line of its doc comment.
+func funcDocHot(d *ast.FuncDecl) bool { return funcDocHas(d, HotAnnotation) }
 
 // hotFuncs returns the package's annotated functions (by type object) and
 // all declared functions, so callers can distinguish "declared here but not

@@ -261,6 +261,17 @@ func TestSharedReadGolden(t *testing.T) {
 	runGolden(t, SharedRead, cfg, "sharedread/netpkg", "sharedread/use")
 }
 
+func TestDomainSharedGolden(t *testing.T) {
+	cfg := &Config{
+		DomainSharedFields: []string{
+			"sharedread/dompkg.link.pending",
+			"sharedread/dompkg.link.inFly",
+			"sharedread/dompkg.engine.count",
+		},
+	}
+	runGolden(t, SharedRead, cfg, "sharedread/dompkg")
+}
+
 func TestFloatKeyGolden(t *testing.T) {
 	runGolden(t, FloatKey, &Config{}, "floatkey")
 }

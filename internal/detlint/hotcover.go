@@ -6,15 +6,16 @@ import (
 )
 
 // HotCover is the suite's self-check: hotalloc only guards what `//sim:hot`
-// actually covers, so an empty or misplaced annotation set silently turns
-// the zero-alloc analyzer off. HotCover fails when a configured hot package
-// (the engine cycle-loop packages) declares no annotated function, and
-// flags any `//sim:hot` comment that is not attached to a function
+// covers and sharedread's cross-domain mode only guards what `//sim:domain`
+// covers, so an empty or misplaced annotation set silently turns those
+// analyzers off. HotCover fails when a configured hot package (the engine
+// cycle-loop packages) declares no annotated function, and flags any
+// `//sim:hot` or `//sim:domain` comment that is not attached to a function
 // declaration's doc block — a directive floating above a blank line or
 // inside a body guards nothing.
 var HotCover = &Analyzer{
 	Name: "hotcover",
-	Doc:  "the //sim:hot annotation set must be non-empty in engine packages and attached to function declarations",
+	Doc:  "the //sim:hot annotation set must be non-empty in engine packages, and //sim:hot///sim:domain directives attached to function declarations",
 	Run:  runHotCover,
 }
 
@@ -36,8 +37,9 @@ func runHotCover(pass *Pass) error {
 	for _, file := range pass.Pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				if strings.TrimSpace(c.Text) == HotAnnotation && !attached[c] {
-					pass.Reportf(c.Pos(), "misplaced %s: the directive only takes effect as a line of a function declaration's doc comment", HotAnnotation)
+				text := strings.TrimSpace(c.Text)
+				if (text == HotAnnotation || text == DomainAnnotation) && !attached[c] {
+					pass.Reportf(c.Pos(), "misplaced %s: the directive only takes effect as a line of a function declaration's doc comment", text)
 				}
 			}
 		}

@@ -17,3 +17,11 @@ func body() int {
 	/* want "misplaced //sim:hot" */ //sim:hot
 	return int(notAFunc(0))
 }
+
+// stepDomain runs per domain in the fixture's parallel phase.
+//
+//sim:domain
+func stepDomain() { annotated() }
+
+/* want "misplaced //sim:domain" */ //sim:domain
+var notAFuncEither int

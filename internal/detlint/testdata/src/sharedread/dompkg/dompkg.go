@@ -1,0 +1,35 @@
+// Package dompkg exercises sharedread's cross-domain mode: inside
+// //sim:domain functions, writes to the configured DomainSharedFields are
+// flagged unless waived with the exclusivity argument; the same writes in
+// unannotated (serial) code are fine.
+package dompkg
+
+type link struct {
+	pending int
+	inFly   [2]int
+}
+
+type engine struct {
+	links []link
+	count int64
+	local int64
+}
+
+// stepLink runs once per domain, concurrently, during the link phase.
+//
+//sim:domain
+func (e *engine) stepLink(li int) {
+	l := &e.links[li]
+	l.pending-- // want "write to cross-domain shared field sharedread/dompkg.link.pending"
+	//detlint:allow sharedread receiver-exclusive: one receiving router per directed link
+	l.inFly[0]--
+	e.count++ // want "write to cross-domain shared field sharedread/dompkg.engine.count"
+	e.local++ // not configured as shared: no finding
+}
+
+// mergeSerial replays staged effects on the main goroutine; it is not
+// annotated, so the same writes are out of the cross-domain contract.
+func (e *engine) mergeSerial() {
+	e.links[0].pending--
+	e.count++
+}

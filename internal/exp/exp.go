@@ -30,6 +30,13 @@ type Options struct {
 	// front — so Jobs trades wall-clock only.
 	Jobs int
 
+	// EngineJobs steps each point's engine across that many parallel
+	// spatial domains (0 or 1 = serial, < 0 = every CPU; see
+	// slimnoc.WithEngineJobs). Byte-identical results at every value.
+	// Complements Jobs: a dense grid wants point parallelism, a handful of
+	// big saturated points wants engine parallelism.
+	EngineJobs int
+
 	WarmupCycles  int64
 	MeasureCycles int64
 	DrainCycles   int64
@@ -171,6 +178,9 @@ func (rs RunSpec) facade() (slimnoc.RunSpec, []slimnoc.Option) {
 // the context stops the run at its next poll point.
 func Run(ctx context.Context, rs RunSpec) (sim.Result, error) {
 	spec, opts := rs.facade()
+	if rs.Opts.EngineJobs != 0 {
+		opts = append(opts, slimnoc.WithEngineJobs(rs.Opts.EngineJobs))
+	}
 	res, err := slimnoc.Run(ctx, spec, opts...)
 	if err != nil {
 		return sim.Result{}, err
@@ -199,12 +209,16 @@ func RunBatch(ctx context.Context, o Options, points []RunSpec) ([]sim.Result, e
 	for i, rs := range points {
 		specs[i], opts[i] = rs.facade()
 	}
-	results, err := slimnoc.RunCampaign(ctx, specs,
+	copts := []slimnoc.CampaignOption{
 		slimnoc.WithJobs(o.Jobs),
 		slimnoc.WithPointOptions(func(i int, _ slimnoc.RunSpec) []slimnoc.Option {
 			return opts[i]
 		}),
-	)
+	}
+	if o.EngineJobs != 0 {
+		copts = append(copts, slimnoc.WithPointEngineJobs(o.EngineJobs))
+	}
+	results, err := slimnoc.RunCampaign(ctx, specs, copts...)
 	if err != nil {
 		return nil, err
 	}

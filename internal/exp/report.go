@@ -33,7 +33,9 @@ type FigureRun struct {
 // aborts and returns the partial FigureRun.
 func RunFigure(ctx context.Context, f Figure, o Options, copts ...slimnoc.CampaignOption) (FigureRun, error) {
 	run := FigureRun{Figure: f}
-	campaign := slimnoc.NewCampaign(append([]slimnoc.CampaignOption{slimnoc.WithJobs(o.Jobs)}, copts...)...)
+	campaign := slimnoc.NewCampaign(append([]slimnoc.CampaignOption{
+		slimnoc.WithJobs(o.Jobs), slimnoc.WithPointEngineJobs(o.EngineJobs),
+	}, copts...)...)
 	for _, sweep := range f.Sweeps {
 		points, err := sweep.Points()
 		if err != nil {

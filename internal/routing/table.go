@@ -28,6 +28,13 @@ type RouteTable struct {
 	off     []int32
 	voff    []int32
 	plen    []int32
+
+	// ports holds the per-hop output-port indices, aligned element for
+	// element with hopVCs (same voff indexing): ports[voff+i] is the output
+	// port at path[i] leading to path[i+1]. Filled by CompilePorts; empty
+	// until then. Precomputing the ports moves the simulator's per-flit
+	// adjacency binary search out of the switch-allocation hot path.
+	ports []uint8
 }
 
 func newTable(nr int, pb PathBuilder) *RouteTable {
@@ -111,6 +118,82 @@ func (t *RouteTable) Route(src, dst int) ([]int32, []uint8) {
 		hops = 0
 	}
 	return t.routers[o : o+n : o+n], t.hopVCs[vo : vo+hops : vo+hops]
+}
+
+// CompilePorts resolves every compiled hop to its output-port index in the
+// sender's (sorted) adjacency row, making Ports views available. It may only
+// be called on a frozen table (built with Compile): a memoizing table keeps
+// compiling new pairs, whose port entries would be missing. The adjacency
+// must be the network the table was compiled for; ports are uint8, so router
+// radixes beyond 255 are rejected (no supported topology comes close).
+func (t *RouteTable) CompilePorts(adj [][]int) error {
+	if t.pb != nil {
+		return fmt.Errorf("routing: CompilePorts requires a frozen table (use Compile, not NewMemoTable)")
+	}
+	if len(adj) != t.nr {
+		return fmt.Errorf("routing: CompilePorts adjacency has %d routers, table compiled for %d", len(adj), t.nr)
+	}
+	for r := range adj {
+		if len(adj[r]) > 255 {
+			return fmt.Errorf("routing: router %d radix %d exceeds the 255-port limit", r, len(adj[r]))
+		}
+	}
+	ports := make([]uint8, len(t.hopVCs))
+	for pair, o := range t.off {
+		if o < 0 {
+			continue
+		}
+		n, vo := int(t.plen[pair]), int(t.voff[pair])
+		path := t.routers[o : int(o)+n]
+		for i := 0; i+1 < n; i++ {
+			pos, ok := searchAdj(adj[path[i]], int(path[i+1]))
+			if !ok {
+				return fmt.Errorf("routing: compiled route %d->%d uses missing link %d->%d",
+					pair/t.nr, pair%t.nr, path[i], path[i+1])
+			}
+			ports[vo+i] = uint8(pos)
+		}
+	}
+	t.ports = ports
+	return nil
+}
+
+// searchAdj binary-searches a sorted adjacency row for nxt, returning its
+// position (the output-port index).
+func searchAdj(adj []int, nxt int) (int, bool) {
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < nxt {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(adj) || adj[lo] != nxt {
+		return 0, false
+	}
+	return lo, true
+}
+
+// HasPorts reports whether CompilePorts has run, i.e. whether Ports views
+// are available.
+func (t *RouteTable) HasPorts() bool { return t.ports != nil }
+
+// Ports returns the per-hop output ports for src->dst (len(path)-1 entries,
+// aligned with the VC view from Route) as a borrowed read-only view, or nil
+// if CompilePorts has not run. Pairs are never compiled here — callers pair
+// it with Route, which does.
+func (t *RouteTable) Ports(src, dst int) []uint8 {
+	if t.ports == nil {
+		return nil
+	}
+	pair := src*t.nr + dst
+	vo, hops := t.voff[pair], t.plen[pair]-1
+	if hops < 0 {
+		hops = 0
+	}
+	return t.ports[vo : vo+hops : vo+hops]
 }
 
 // NumVCs returns the VC count of the compiled builder.

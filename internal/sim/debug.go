@@ -23,11 +23,11 @@ func (s *Sim) Stuck() StuckReport {
 			rep.Details = append(rep.Details, detail)
 		}
 	}
-	for r := range s.routers {
-		rs := &s.routers[r]
-		for pi := range rs.in {
-			for vc := range rs.in[pi] {
-				q := &rs.in[pi][vc].q
+	for r := 0; r < s.net.Nr; r++ {
+		for pi := 0; pi < int(s.kp[r]); pi++ {
+			vb := (r*s.stride + pi) * s.vcs
+			for vc := 0; vc < s.vcs; vc++ {
+				q := &s.inQ[vb+vc]
 				if q.len() > 0 {
 					rep.InInputBuffers += q.len()
 					f := q.front()
@@ -36,15 +36,15 @@ func (s *Sim) Stuck() StuckReport {
 						r, pi, vc, q.len(), p.id, p.src, p.dst, f.hop, len(p.path)-1, f.idx, p.cbState))
 				}
 			}
-		}
-		for slot := range rs.cbq {
-			q := &rs.cbq[slot]
-			for i := 0; i < q.len(); i++ {
-				cp := q.at(i)
-				if cp.stored.len() > 0 || cp.expected > 0 {
-					rep.InCB += cp.stored.len()
-					add(fmt.Sprintf("router %d CB (port %d vc %d): pkt %d stored %d expected %d",
-						r, slot/s.cfg.VCs, slot%s.cfg.VCs, cp.pkt.id, cp.stored.len(), cp.expected))
+			for vc := 0; vc < s.vcs && s.cbq != nil; vc++ {
+				q := &s.cbq[vb+vc]
+				for i := 0; i < q.len(); i++ {
+					cp := q.at(i)
+					if cp.stored.len() > 0 || cp.expected > 0 {
+						rep.InCB += cp.stored.len()
+						add(fmt.Sprintf("router %d CB (port %d vc %d): pkt %d stored %d expected %d",
+							r, pi, vc, cp.pkt.id, cp.stored.len(), cp.expected))
+					}
 				}
 			}
 		}

@@ -1,0 +1,324 @@
+// Deterministic domain-parallel stepping. The routers are partitioned into
+// contiguous index ranges ("domains"); each cycle the link-delivery phase
+// and the router phase run once per domain — on a pool of worker goroutines
+// with a per-cycle spin barrier when EngineJobs > 1, inline in ascending
+// domain order otherwise. Everything a domain writes is either exclusively
+// owned by it:
+//
+//   - SoA router state of routers in [rlo, rhi), the NIC injection queues of
+//     their attached nodes, and the per-node ejection budget of those nodes
+//     (a node ejects only at its own router);
+//   - the receiver side of links into the domain (lane pops, pending,
+//     perVCInFly) during the link phase;
+//   - the sender side of links out of the domain (lane pushes, pending,
+//     perVCInFly, occupancy increments) during the router phase — a directed
+//     link has exactly one sending router, and the phase barrier separates
+//     sender-phase writes from receiver-phase writes;
+//
+// or staged in per-domain buffers (credit-wheel events, delayed ejections,
+// occupancy decrements, cross-domain link wakes, counter deltas) and
+// replayed by mergeDomains on the main goroutine in ascending domain order.
+// Domains are contiguous ascending router ranges and each domain appends its
+// staged events in its own ascending-router visit order, so the ascending-
+// domain replay reproduces the serial engine's ascending-router-index event
+// order exactly — which is why results are byte-identical at every domain
+// count (pinned by TestDomainParallelIdentity and the golden fixtures). The
+// serial engine is the 1-domain instance of the same code, not a separate
+// path.
+
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// stagedCredit is a credit-wheel event recorded by a domain during the
+// router phase and replayed into the shared wheel at merge time.
+type stagedCredit struct {
+	at int64
+	ev creditEvent
+}
+
+// domain is one contiguous router-index range stepped as a unit.
+type domain struct {
+	rlo, rhi int32 // router range [rlo, rhi)
+	// Active lists owned by this domain: routers in the range with pending
+	// work, links whose receiving router lies in the range. The membership
+	// flags live in Sim.routerIn/linkIn — flag elements are only ever
+	// written by the entity's owning (or, for linkIn, sending) domain
+	// within a phase, so the shared arrays need no synchronisation.
+	routerList []int32
+	linkList   []int32
+	// cbPool is the domain-local central-buffer freelist (a cbPacket lives
+	// and dies at one router, so pools never cross domains).
+	cbPool []*cbPacket
+	// Staging of effects that target shared engine state — appended during
+	// the parallel phases, replayed serially by mergeDomains.
+	credits  []stagedCredit // credit-wheel schedules (upstream may be foreign)
+	ejects   []flit         // delayed ejections (order observable)
+	occDecs  []int32        // link occupancy decrements (sender may be foreign)
+	linkActs []int32        // link wakes (receiver may be foreign)
+	// Counter deltas folded into the Sim totals at merge.
+	forwarded int64
+	bypass    int64
+	buffered  int64
+	// pad keeps adjacent domains' hot fields on distinct cache lines.
+	_ [64]byte
+}
+
+// normalizeJobs clamps a Config.EngineJobs value to a valid domain count.
+func normalizeJobs(jobs, nr int) int {
+	if jobs > nr {
+		jobs = nr
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}
+
+// buildDomains splits the routers into nd contiguous ranges and sizes the
+// ownership lookups. Called once from New.
+func (s *Sim) buildDomains(nd int) {
+	nr := s.net.Nr
+	s.doms = make([]domain, nd)
+	s.domOf = make([]int32, nr)
+	for di := 0; di < nd; di++ {
+		lo, hi := di*nr/nd, (di+1)*nr/nd
+		s.doms[di].rlo, s.doms[di].rhi = int32(lo), int32(hi)
+		for r := lo; r < hi; r++ {
+			s.domOf[r] = int32(di)
+		}
+	}
+	s.linkDom = make([]int32, len(s.links))
+	for lid := range s.links {
+		s.linkDom[lid] = s.domOf[s.links[lid].to]
+	}
+	s.routerIn = make([]bool, nr)
+	s.linkIn = make([]bool, len(s.links))
+	if nd > 1 {
+		s.par = &parRunner{workers: make([]workerSlot, nd-1)}
+	}
+}
+
+// stepLinksDomain delivers arrived flits on the domain's active links. The
+// list is deliberately not sorted: links do not interact within the phase —
+// each delivers into its own (router, port) input queues and wakes only its
+// own receiver — so iteration order cannot affect any state the engine
+// observes (the router phase re-sorts its list before stepping).
+//
+//sim:hot
+//sim:domain
+func (s *Sim) stepLinksDomain(d *domain) {
+	keep := d.linkList[:0]
+	for _, li := range d.linkList {
+		if s.stepLink(int(li)) {
+			keep = append(keep, li)
+		} else {
+			s.linkIn[li] = false
+		}
+	}
+	d.linkList = keep
+}
+
+// stepLink delivers the arrived flits of one link into its receiver's input
+// buffers (or CB staging), one VC lane at a time (ElastiStore-style
+// independent per-VC handshakes). Reports whether the link still carries
+// flits.
+//
+//sim:hot
+//sim:domain
+func (s *Sim) stepLink(li int) bool {
+	l := &s.links[li]
+	to := l.to
+	vb := (to*s.stride + l.toPort) * s.vcs
+	for vc := range l.lanes {
+		lane := &l.lanes[vc]
+		for lane.len() > 0 {
+			lf := lane.front()
+			if lf.arrive > s.now {
+				break
+			}
+			q := &s.inQ[vb+vc]
+			if s.scheme != EdgeBuffers && int32(q.len()) >= s.inCap[vb+vc] {
+				break // elastic backpressure: flit waits in the pipeline
+			}
+			q.push(lf.f)
+			lane.pop()
+			//detlint:allow sharedread receiver-exclusive: one receiving router per directed link, sender writes only after the phase barrier
+			l.pending--
+			//detlint:allow sharedread receiver-exclusive: one receiving router per directed link, sender writes only after the phase barrier
+			l.perVCInFly[vc]--
+			s.routerGainsFlit(to)
+		}
+	}
+	return l.pending > 0
+}
+
+// mergeDomains replays every domain's staged effects into the shared engine
+// state, in ascending domain order, on the main goroutine after the router
+// phase. This is the serialisation point that makes the parallel engine
+// byte-identical to the serial one.
+//
+//sim:hot
+func (s *Sim) mergeDomains() {
+	for di := range s.doms {
+		d := &s.doms[di]
+		for _, lid := range d.linkActs {
+			//detlint:allow hotalloc amortised active-list growth; capacity is retained across cycles
+			s.doms[s.linkDom[lid]].linkList = append(s.doms[s.linkDom[lid]].linkList, lid)
+		}
+		d.linkActs = d.linkActs[:0]
+		for _, sc := range d.credits {
+			s.creditWheel.schedule(s.now, sc.at, sc.ev)
+		}
+		d.credits = d.credits[:0]
+		for _, f := range d.ejects {
+			s.ejectWheel.schedule(s.now, s.now+routerDelayDirect, f)
+		}
+		clear(d.ejects) // release packet references before truncating
+		d.ejects = d.ejects[:0]
+		for _, lid := range d.occDecs {
+			s.links[lid].occupancy--
+		}
+		d.occDecs = d.occDecs[:0]
+		s.forwardedFlits += d.forwarded
+		s.bypassFlits += d.bypass
+		s.bufferedFlits += d.buffered
+		d.forwarded, d.bypass, d.buffered = 0, 0, 0
+	}
+}
+
+// Worker commands, published through parRunner.cmd.
+const (
+	cmdLinks uint32 = iota + 1
+	cmdRouters
+	cmdStop
+)
+
+// workerSlot is one worker's acknowledgement cell, padded so the spinning
+// main goroutine and the worker never share a cache line with a neighbour.
+type workerSlot struct {
+	_   [64]byte
+	ack atomic.Uint32
+	_   [64]byte
+}
+
+// parRunner is the per-cycle barrier for EngineJobs > 1: the main goroutine
+// publishes a command by incrementing epoch (workers spin on it), steps
+// domain 0 itself, then spins until every worker has acknowledged the epoch.
+// cmd is written strictly before the epoch increment and read after the
+// epoch load, so the two atomics carry all ordering (and give the race
+// detector its happens-before edges).
+type parRunner struct {
+	cmd     uint32
+	epoch   atomic.Uint32
+	workers []workerSlot
+	started bool
+	wg      sync.WaitGroup
+}
+
+// startWorkers launches one goroutine per extra domain for the duration of a
+// run. Idempotent; a Sim with one domain has no runner and stays serial.
+// When the workers are not running (tests driving step directly), step falls
+// back to stepping the domains inline in the same ascending order — same
+// code, same results.
+func (s *Sim) startWorkers() {
+	if s.par == nil || s.par.started {
+		return
+	}
+	s.par.started = true
+	e0 := s.par.epoch.Load()
+	s.par.wg.Add(len(s.par.workers))
+	for w := range s.par.workers {
+		go s.domainWorker(w, e0)
+	}
+}
+
+// stopWorkers shuts the pool down and waits for it; safe to call when no
+// pool is running. The runner stays reusable, so Run-after-Run works.
+func (s *Sim) stopWorkers() {
+	if s.par == nil || !s.par.started {
+		return
+	}
+	s.par.cmd = cmdStop
+	e := s.par.epoch.Add(1)
+	for w := range s.par.workers {
+		awaitAck(&s.par.workers[w].ack, e)
+	}
+	s.par.wg.Wait()
+	s.par.started = false
+}
+
+// parPhase runs one phase across all domains: publish the command, step
+// domain 0 on the calling (main) goroutine, then wait for every worker.
+//
+//sim:hot
+func (s *Sim) parPhase(cmd uint32) {
+	pr := s.par
+	pr.cmd = cmd
+	e := pr.epoch.Add(1)
+	if cmd == cmdLinks {
+		s.stepLinksDomain(&s.doms[0])
+	} else {
+		s.stepRoutersDomain(&s.doms[0])
+	}
+	for w := range pr.workers {
+		awaitAck(&pr.workers[w].ack, e)
+	}
+}
+
+// domainWorker is the steady loop of one worker goroutine: wait for an
+// epoch, run the commanded phase on its domain, acknowledge.
+//
+//sim:domain
+func (s *Sim) domainWorker(w int, last uint32) {
+	defer s.par.wg.Done()
+	d := &s.doms[w+1]
+	for {
+		e := awaitEpoch(&s.par.epoch, last)
+		last = e
+		cmd := s.par.cmd
+		switch cmd {
+		case cmdLinks:
+			s.stepLinksDomain(d)
+		case cmdRouters:
+			s.stepRoutersDomain(d)
+		}
+		s.par.workers[w].ack.Store(e)
+		if cmd == cmdStop {
+			return
+		}
+	}
+}
+
+// awaitEpoch spins until the epoch moves past last, yielding the scheduler
+// once the phases stop arriving back-to-back (oversubscribed boxes).
+//
+//sim:hot
+func awaitEpoch(v *atomic.Uint32, last uint32) uint32 {
+	for spins := 0; ; spins++ {
+		if e := v.Load(); e != last {
+			return e
+		}
+		if spins > 128 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// awaitAck spins until a worker acknowledges the given epoch.
+//
+//sim:hot
+func awaitAck(v *atomic.Uint32, want uint32) {
+	for spins := 0; ; spins++ {
+		if v.Load() == want {
+			return
+		}
+		if spins > 128 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -116,7 +116,10 @@ func EstimateLatencies(cfg Config, transfers []Transfer, maxCycles int64) ([]int
 	// Drive the cycle loop directly: unlike Run there are no phases — the
 	// episode ends the moment the batch is fully delivered. Delayed
 	// ejections ride the ejection wheel and complete inside step, so no
-	// final flush is needed.
+	// final flush is needed. Domain workers (cfg.EngineJobs > 1) run for
+	// the episode like they do for a full run.
+	s.startWorkers()
+	defer s.stopWorkers()
 	for s.now = 0; src.delivered < len(transfers); s.now++ {
 		if s.now >= maxCycles {
 			return nil, fmt.Errorf("sim: estimate: %d of %d transfers undelivered after %d cycles (deadlock or unreachable destination)",

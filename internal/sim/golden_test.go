@@ -69,7 +69,7 @@ func goldenCases() []goldenCase {
 	return cases
 }
 
-func runGoldenCase(t *testing.T, c goldenCase) sim.Result {
+func runGoldenCase(t *testing.T, c goldenCase, jobs int) sim.Result {
 	t.Helper()
 	net := snNetwork(t, 5, 4, core.LayoutSubgroup)
 	cfg := sim.Config{
@@ -81,6 +81,7 @@ func runGoldenCase(t *testing.T, c goldenCase) sim.Result {
 		Traffic: &traffic.Synthetic{N: net.N(), Rate: c.Rate, PacketFlits: 6,
 			Pattern: traffic.Uniform{N: net.N()}},
 		Seed:          c.Seed,
+		EngineJobs:    jobs,
 		WarmupCycles:  1000,
 		MeasureCycles: 3000,
 		DrainCycles:   3000,
@@ -100,7 +101,7 @@ func TestGoldenMetrics(t *testing.T) {
 	for _, c := range goldenCases() {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
-			got[c.Name] = runGoldenCase(t, c)
+			got[c.Name] = runGoldenCase(t, c, 0)
 		})
 	}
 
@@ -145,5 +146,34 @@ func TestGoldenMetrics(t *testing.T) {
 				t.Errorf("fixture case %s no longer produced", name)
 			}
 		}
+	}
+}
+
+// TestGoldenMetricsParallel re-runs every golden case with the engine split
+// across 4 spatial domains (EngineJobs: 4) and compares against the same,
+// unmodified fixture: domain-parallel stepping is required to be a byte-
+// identical re-implementation of the serial engine the fixture was
+// generated from, exactly like every previous engine optimisation.
+func TestGoldenMetricsParallel(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden fixture (generate with -update-golden): %v", err)
+	}
+	var want map[string]sim.Result
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			got := runGoldenCase(t, c, 4)
+			w, ok := want[c.Name]
+			if !ok {
+				t.Fatalf("case %s missing from fixture", c.Name)
+			}
+			if got != w {
+				t.Errorf("%s: 4-domain Result drifted from golden fixture\n got %+v\nwant %+v", c.Name, got, w)
+			}
+		})
 	}
 }

@@ -1,8 +1,15 @@
 // Router pipeline: switch allocation, central-buffer management, injection
-// and ejection. One call to stepRouters advances every router with pending
-// work by one cycle; idle routers cost nothing.
+// and ejection. One call to stepRoutersDomain advances every active router
+// of one spatial domain by one cycle; idle routers cost nothing. All state
+// touched here is either owned by the router's domain (SoA slices indexed by
+// the domain's router range, NIC injection queues of attached nodes, the
+// outgoing links' sender side) or staged per domain for the serial merge
+// (timing-wheel events, occupancy decrements, cross-domain link wakes) — see
+// domain.go for the decomposition contract.
 
 package sim
+
+import "slices"
 
 // routerDelay is the router pipeline latency added to every traversal: the
 // paper's 2-stage edge-buffer pipeline and the CBR bypass path both take 2
@@ -12,38 +19,37 @@ const (
 	routerDelayBuffered = 4
 )
 
-// stepRouters performs ejection, central-buffer reads/writes, switch
-// allocation and injection for every active router, in ascending router
-// index order (matching the original full scan).
+// stepRoutersDomain performs ejection, central-buffer reads/writes, switch
+// allocation and injection for every active router of the domain, in
+// ascending router index order (matching the original full scan; the sort
+// also makes the list append order of the preceding link phase irrelevant).
 //
 //sim:hot
-func (s *Sim) stepRouters() {
-	// Sparse reset of last cycle's ejection-port budget.
-	for _, slot := range s.ejTouched {
-		s.ejUsed[slot] = false
+//sim:domain
+func (s *Sim) stepRoutersDomain(d *domain) {
+	slices.Sort(d.routerList)
+	keep := d.routerList[:0]
+	for _, r := range d.routerList {
+		s.stepRouter(d, int(r))
+		if s.work[r] > 0 {
+			keep = append(keep, r)
+		} else {
+			s.routerIn[r] = false
+		}
 	}
-	s.ejTouched = s.ejTouched[:0]
-	s.activeRouters.forEachSorted(func(r int) bool {
-		rs := &s.routers[r]
-		s.stepRouter(rs)
-		return rs.work > 0
-	})
+	d.routerList = keep
 }
 
 //sim:hot
-func (s *Sim) stepRouter(rs *routerState) {
-	kp := rs.kp
-	outUsed, inUsed := rs.outUsed, rs.inUsed
-	for i := range outUsed {
-		outUsed[i] = false
-	}
-	for i := range inUsed {
-		inUsed[i] = false
-	}
+//sim:domain
+func (s *Sim) stepRouter(d *domain, r int) {
+	now := s.now
+	kp := int(s.kp[r])
+	pb := r * s.stride
 
 	// 1. Central-buffer read port: drain at most one flit from the CB.
-	if s.cfg.Scheme == CentralBuffer {
-		s.cbDrain(rs, outUsed)
+	if s.scheme == CentralBuffer {
+		s.cbDrain(d, r)
 	}
 
 	// 2. Network inputs: iterate ports with a rotating start for fairness.
@@ -52,20 +58,21 @@ func (s *Sim) stepRouter(rs *routerState) {
 	// routers are skipped entirely but must arbitrate identically).
 	cbWrote := false
 	if kp > 0 {
-		rr := int(s.now % int64(kp))
+		rr := int(now % int64(kp))
 		for off := 0; off < kp; off++ {
 			pi := (rr + off) % kp
-			if inUsed[pi] {
+			if s.inUsedAt[pb+pi] == now {
 				continue
 			}
-			for vc := 0; vc < s.cfg.VCs; vc++ {
-				in := &rs.in[pi][vc]
-				if in.q.empty() {
+			vb := (pb + pi) * s.vcs
+			for vc := 0; vc < s.vcs; vc++ {
+				q := &s.inQ[vb+vc]
+				if q.empty() {
 					continue
 				}
-				f := in.q.front()
-				if s.tryAdvance(rs, f, outUsed, &cbWrote, pi, vc) {
-					inUsed[pi] = true
+				f := q.front()
+				if s.tryAdvance(d, r, f, &cbWrote, pi, vc) {
+					s.inUsedAt[pb+pi] = now
 					break
 				}
 			}
@@ -75,7 +82,7 @@ func (s *Sim) stepRouter(rs *routerState) {
 	// 3. Injection: each attached node may insert one flit per cycle.
 	// Nodes attach contiguously (New rejects node maps), matching the
 	// order of Network.RouterNodes without its allocation.
-	base := rs.id * s.net.P
+	base := r * s.net.P
 	for node := base; node < base+s.net.P; node++ {
 		nc := &s.nics[node]
 		if nc.injQ.empty() {
@@ -86,72 +93,66 @@ func (s *Sim) stepRouter(rs *routerState) {
 		if int(f.hop) == len(p.path)-1 {
 			// Same-router destination: eject directly.
 			slot := s.ejSlot(p.dst)
-			if s.ejUsed[slot] {
+			if s.ejUsedAt[slot] == now {
 				continue
 			}
-			s.markEjUsed(slot)
+			s.ejUsedAt[slot] = now
 			nc.injQ.pop()
-			s.ejectWithDelay(rs, f)
+			s.ejectWithDelay(d, r, f)
 			continue
 		}
-		outPort := s.portToward(rs.id, int(p.path[f.hop+1]))
+		outPort := int(p.ports[f.hop])
 		outVC := int(p.vcs[f.hop])
-		if outUsed[outPort] {
+		if s.outUsedAt[pb+outPort] == now {
 			continue
 		}
-		if !s.outputReady(rs, p, outPort, outVC, f.head()) {
+		if !s.outputReady(r, p, outPort, outVC, f.head()) {
 			continue
 		}
 		nc.injQ.pop()
-		s.sendFlit(rs, f, outPort, outVC, routerDelayDirect)
-		outUsed[outPort] = true
+		s.sendFlit(d, r, f, outPort, outVC, routerDelayDirect)
+		s.outUsedAt[pb+outPort] = now
 	}
-}
-
-// markEjUsed consumes a node's ejection budget for this cycle.
-//
-//sim:hot
-func (s *Sim) markEjUsed(slot int) {
-	s.ejUsed[slot] = true
-	s.ejTouched = append(s.ejTouched, int32(slot))
 }
 
 // tryAdvance attempts to move the head flit of input (pi, vc). Returns true
 // if the flit was consumed.
 //
 //sim:hot
-func (s *Sim) tryAdvance(rs *routerState, f flit, outUsed []bool, cbWrote *bool, pi, vc int) bool {
+//sim:domain
+func (s *Sim) tryAdvance(d *domain, r int, f flit, cbWrote *bool, pi, vc int) bool {
 	p := f.pkt
-	if int(p.path[f.hop]) != rs.id {
+	if int(p.path[f.hop]) != r {
 		panic("sim: flit at wrong router")
 	}
 	// Ejection.
 	if int(f.hop) == len(p.path)-1 {
 		slot := s.ejSlot(p.dst)
-		if s.ejUsed[slot] {
+		if s.ejUsedAt[slot] == s.now {
 			return false
 		}
-		s.markEjUsed(slot)
-		s.popInput(rs, pi, vc)
-		s.ejectWithDelay(rs, f)
+		s.ejUsedAt[slot] = s.now
+		s.popInput(d, r, pi, vc)
+		s.ejectWithDelay(d, r, f)
 		return true
 	}
-	outPort := s.portToward(rs.id, int(p.path[f.hop+1]))
+	outPort := int(p.ports[f.hop])
 	outVC := int(p.vcs[f.hop])
 
-	if s.cfg.Scheme == CentralBuffer {
-		return s.tryAdvanceCBR(rs, f, outUsed, cbWrote, pi, vc, outPort, outVC)
+	if s.scheme == CentralBuffer {
+		return s.tryAdvanceCBR(d, r, f, cbWrote, pi, vc, outPort, outVC)
 	}
-	if outUsed[outPort] {
+	pb := r * s.stride
+	if s.outUsedAt[pb+outPort] == s.now {
 		return false
 	}
-	if !s.outputReady(rs, p, outPort, outVC, f.head()) {
+	if !s.outputReady(r, p, outPort, outVC, f.head()) {
 		return false
 	}
-	s.popInput(rs, pi, vc)
-	s.forwardedFlits++
-	s.sendFlit(rs, f, outPort, outVC, routerDelayDirect)
-	outUsed[outPort] = true
+	s.popInput(d, r, pi, vc)
+	d.forwarded++
+	s.sendFlit(d, r, f, outPort, outVC, routerDelayDirect)
+	s.outUsedAt[pb+outPort] = s.now
 	return true
 }
 
@@ -162,18 +163,21 @@ func (s *Sim) tryAdvance(rs *routerState, f flit, outUsed []bool, cbWrote *bool,
 // 4-cycle path.
 //
 //sim:hot
-func (s *Sim) tryAdvanceCBR(rs *routerState, f flit, outUsed []bool, cbWrote *bool, pi, vc, outPort, outVC int) bool {
+//sim:domain
+func (s *Sim) tryAdvanceCBR(d *domain, r int, f flit, cbWrote *bool, pi, vc, outPort, outVC int) bool {
 	p := f.pkt
-	q := &rs.cbq[outPort*s.cfg.VCs+outVC]
+	pb := r * s.stride
+	vi := (pb+outPort)*s.vcs + outVC
+	q := &s.cbq[vi]
 	if f.head() && p.cbState[f.hop] == 0 {
 		// Decide once per router visit.
-		if q.empty() && rs.outOwner[outPort][outVC] == -1 && !outUsed[outPort] &&
-			s.linkHasRoom(rs, outPort, outVC) {
+		if q.empty() && s.outOwner[vi] == -1 && s.outUsedAt[pb+outPort] != s.now &&
+			s.linkHasRoom(r, outPort, outVC) {
 			p.cbState[f.hop] = 1 // bypass
-		} else if rs.cbFree >= p.flits {
-			rs.cbFree -= p.flits
+		} else if s.cbFree[r] >= int32(p.flits) {
+			s.cbFree[r] -= int32(p.flits)
 			p.cbState[f.hop] = 2 // buffered
-			cp := s.allocCBPacket()
+			cp := s.allocCBPacket(d)
 			cp.pkt, cp.outPort, cp.outVC, cp.expected = p, outPort, outVC, p.flits
 			q.push(cp)
 		} else {
@@ -193,7 +197,7 @@ func (s *Sim) tryAdvanceCBR(rs *routerState, f flit, outUsed []bool, cbWrote *bo
 		for i := 0; i < q.len(); i++ {
 			cp := q.at(i)
 			if cp.pkt == p {
-				s.popInput(rs, pi, vc)
+				s.popInput(d, r, pi, vc)
 				cp.stored.push(f)
 				cp.expected--
 				*cbWrote = true
@@ -203,28 +207,30 @@ func (s *Sim) tryAdvanceCBR(rs *routerState, f flit, outUsed []bool, cbWrote *bo
 		return false
 	}
 	// Bypass path: behaves like a direct wormhole traversal.
-	if outUsed[outPort] {
+	if s.outUsedAt[pb+outPort] == s.now {
 		return false
 	}
-	if !s.outputReady(rs, p, outPort, outVC, f.head()) {
+	if !s.outputReady(r, p, outPort, outVC, f.head()) {
 		return false
 	}
-	s.popInput(rs, pi, vc)
-	s.bypassFlits++
-	s.forwardedFlits++
-	s.sendFlit(rs, f, outPort, outVC, routerDelayDirect)
-	outUsed[outPort] = true
+	s.popInput(d, r, pi, vc)
+	d.bypass++
+	d.forwarded++
+	s.sendFlit(d, r, f, outPort, outVC, routerDelayDirect)
+	s.outUsedAt[pb+outPort] = s.now
 	return true
 }
 
-// allocCBPacket takes a CB packet record from the freelist.
+// allocCBPacket takes a CB packet record from the domain's freelist
+// (cbPackets live and die at one router, so the pools are domain-closed).
 //
 //sim:hot
-func (s *Sim) allocCBPacket() *cbPacket {
-	if n := len(s.cbPool); n > 0 {
-		cp := s.cbPool[n-1]
-		s.cbPool[n-1] = nil
-		s.cbPool = s.cbPool[:n-1]
+//sim:domain
+func (s *Sim) allocCBPacket(d *domain) *cbPacket {
+	if n := len(d.cbPool); n > 0 {
+		cp := d.cbPool[n-1]
+		d.cbPool[n-1] = nil
+		d.cbPool = d.cbPool[:n-1]
 		return cp
 	}
 	//detlint:allow hotalloc freelist miss only; steady state recycles via freeCBPacket (pinned by TestSteadyStateZeroAllocs)
@@ -235,9 +241,11 @@ func (s *Sim) allocCBPacket() *cbPacket {
 // capacity.
 //
 //sim:hot
-func (s *Sim) freeCBPacket(cp *cbPacket) {
+//sim:domain
+func (s *Sim) freeCBPacket(d *domain, cp *cbPacket) {
 	cp.pkt = nil
-	s.cbPool = append(s.cbPool, cp)
+	//detlint:allow hotalloc amortised freelist growth; capacity is retained across cycles
+	d.cbPool = append(d.cbPool, cp)
 }
 
 // cbDrain moves at most one flit from the central buffer to an output (the
@@ -245,13 +253,16 @@ func (s *Sim) freeCBPacket(cp *cbPacket) {
 // rotating order.
 //
 //sim:hot
-func (s *Sim) cbDrain(rs *routerState, outUsed []bool) {
-	total := rs.kp * s.cfg.VCs
+//sim:domain
+func (s *Sim) cbDrain(d *domain, r int) {
+	total := int(s.kp[r]) * s.vcs
 	start := int(s.now) % maxi(total, 1)
+	pb := r * s.stride
+	vb := pb * s.vcs
 	for off := 0; off < total; off++ {
 		slot := (start + off) % total
-		outPort, outVC := slot/s.cfg.VCs, slot%s.cfg.VCs
-		q := &rs.cbq[slot]
+		outPort, outVC := slot/s.vcs, slot%s.vcs
+		q := &s.cbq[vb+slot]
 		if q.empty() {
 			continue
 		}
@@ -259,22 +270,22 @@ func (s *Sim) cbDrain(rs *routerState, outUsed []bool) {
 		if cp.stored.empty() {
 			continue
 		}
-		if outUsed[outPort] {
+		if s.outUsedAt[pb+outPort] == s.now {
 			continue
 		}
 		f := cp.stored.front()
-		if !s.outputReady(rs, cp.pkt, outPort, outVC, f.head()) {
+		if !s.outputReady(r, cp.pkt, outPort, outVC, f.head()) {
 			continue
 		}
 		cp.stored.pop()
-		rs.cbFree++
-		s.bufferedFlits++
-		s.forwardedFlits++
-		s.sendFlit(rs, f, outPort, outVC, routerDelayBuffered)
-		outUsed[outPort] = true
+		s.cbFree[r]++
+		d.buffered++
+		d.forwarded++
+		s.sendFlit(d, r, f, outPort, outVC, routerDelayBuffered)
+		s.outUsedAt[pb+outPort] = s.now
 		if f.tail() {
 			q.pop()
-			s.freeCBPacket(cp)
+			s.freeCBPacket(d, cp)
 		}
 		return // single read port
 	}
@@ -291,8 +302,10 @@ func maxi(a, b int) int {
 // outputReady checks VC ownership and downstream space for one flit.
 //
 //sim:hot
-func (s *Sim) outputReady(rs *routerState, p *packet, outPort, outVC int, head bool) bool {
-	owner := rs.outOwner[outPort][outVC]
+//sim:domain
+func (s *Sim) outputReady(r int, p *packet, outPort, outVC int, head bool) bool {
+	vi := (r*s.stride+outPort)*s.vcs + outVC
+	owner := s.outOwner[vi]
 	if head {
 		if owner != -1 {
 			return false
@@ -300,70 +313,95 @@ func (s *Sim) outputReady(rs *routerState, p *packet, outPort, outVC int, head b
 	} else if owner != p.id {
 		return false
 	}
-	if s.cfg.Scheme == EdgeBuffers {
-		return rs.credits[outPort][outVC] > 0
+	if s.scheme == EdgeBuffers {
+		return s.credits[vi] > 0
 	}
-	return s.linkHasRoom(rs, outPort, outVC)
+	return s.linkHasRoom(r, outPort, outVC)
 }
 
 // linkHasRoom reports whether the elastic link pipeline toward outPort can
 // accept another flit on outVC (capacity = latency stages + 1 slave latch).
 //
 //sim:hot
-func (s *Sim) linkHasRoom(rs *routerState, outPort, outVC int) bool {
-	l := &s.links[rs.outLink[outPort]]
+//sim:domain
+func (s *Sim) linkHasRoom(r, outPort, outVC int) bool {
+	l := &s.links[s.outLink[r*s.stride+outPort]]
 	return l.perVCInFly[outVC] < int(l.latency)+1
 }
 
 // sendFlit commits a flit to an output: ownership transitions, credit
 // consumption, link occupancy, and the traversal itself. The flit leaves
-// the router, so its work counter drops and the link wakes.
+// the router, so its work counter drops and the link wakes — on its
+// receiving domain's list, via the staged linkActs when that domain is not
+// ours. The link-side writes are safe in the parallel phase because a
+// directed link has exactly one sending router, hence exactly one writing
+// domain; the receiver only touches these fields in the (barrier-separated)
+// link phase.
 //
 //sim:hot
-func (s *Sim) sendFlit(rs *routerState, f flit, outPort, outVC int, delay int64) {
+//sim:domain
+func (s *Sim) sendFlit(d *domain, r int, f flit, outPort, outVC int, delay int64) {
 	p := f.pkt
+	vi := (r*s.stride+outPort)*s.vcs + outVC
 	if f.head() {
-		rs.outOwner[outPort][outVC] = p.id
+		s.outOwner[vi] = p.id
 	}
 	if f.tail() {
-		rs.outOwner[outPort][outVC] = -1
+		s.outOwner[vi] = -1
 	}
-	if s.cfg.Scheme == EdgeBuffers {
-		rs.credits[outPort][outVC]--
-		if rs.credits[outPort][outVC] < 0 {
+	if s.scheme == EdgeBuffers {
+		s.credits[vi]--
+		if s.credits[vi] < 0 {
 			panic("sim: negative credits")
 		}
 	}
-	lid := rs.outLink[outPort]
+	lid := s.outLink[r*s.stride+outPort]
 	l := &s.links[lid]
 	f.hop++
 	l.lanes[outVC].push(linkFlit{f: f, arrive: s.now + delay + l.latency})
+	//detlint:allow sharedread sender-exclusive: one sending router per directed link, receiver reads only after the phase barrier
 	l.pending++
+	//detlint:allow sharedread sender-exclusive: one sending router per directed link, receiver reads only after the phase barrier
 	l.perVCInFly[outVC]++
+	//detlint:allow sharedread sender-exclusive increment; the receiver's decrements are staged in domain.occDecs and merged serially
 	l.occupancy++
-	s.activeLinks.add(lid)
-	rs.work--
+	if !s.linkIn[lid] {
+		s.linkIn[lid] = true
+		//detlint:allow hotalloc amortised staging growth; capacity is retained across cycles
+		d.linkActs = append(d.linkActs, lid)
+	}
+	s.work[r]--
 }
 
-// popInput removes the head flit from input (pi, vc): returns a credit
-// upstream (EdgeBuffers) and updates the UGAL occupancy signal.
+// popInput removes the head flit from input (pi, vc). The upstream credit
+// return and the UGAL occupancy decrement both target state shared with
+// other domains (the credit wheel; the sender-side occupancy counter), so
+// they are staged per domain and replayed at the merge.
 //
 //sim:hot
-func (s *Sim) popInput(rs *routerState, pi, vc int) {
-	rs.in[pi][vc].q.pop()
-	l := &s.links[rs.inLink[pi]]
-	l.occupancy--
-	if s.cfg.Scheme == EdgeBuffers {
-		s.creditWheel.schedule(s.now, s.now+l.latency, creditEvent{
-			router: int32(l.from),
-			port:   int32(rs.revPort[pi]),
-			vc:     int32(vc),
+//sim:domain
+func (s *Sim) popInput(d *domain, r, pi, vc int) {
+	s.inQ[(r*s.stride+pi)*s.vcs+vc].pop()
+	lid := s.inLink[r*s.stride+pi]
+	//detlint:allow hotalloc amortised staging growth; capacity is retained across cycles
+	d.occDecs = append(d.occDecs, lid)
+	if s.scheme == EdgeBuffers {
+		l := &s.links[lid]
+		//detlint:allow hotalloc amortised staging growth; capacity is retained across cycles
+		d.credits = append(d.credits, stagedCredit{
+			at: s.now + l.latency,
+			ev: creditEvent{
+				router: int32(l.from),
+				port:   s.revPort[r*s.stride+pi],
+				vc:     int32(vc),
+			},
 		})
 	}
 }
 
 // portToward returns the output port index at router r leading to neighbour
-// nxt, panicking if the link does not exist.
+// nxt, panicking if the link does not exist. Route-table ports make this a
+// setup-time (enqueue) concern; the per-flit hot path reads packet.ports.
 //
 //sim:hot
 func (s *Sim) portToward(r, nxt int) int {
@@ -400,12 +438,17 @@ func (s *Sim) portTowardOK(r, nxt int) (int, bool) {
 func (s *Sim) ejSlot(node int) int { return node }
 
 // ejectWithDelay consumes a flit at its destination, accounting for the
-// final router traversal via the ejection timing wheel.
+// final router traversal. The wheel insertion is staged: ejection order is
+// observable (latency sample order, OnDelivered reply sequencing), and the
+// ascending-domain merge reproduces the serial engine's ascending-router
+// order exactly.
 //
 //sim:hot
-func (s *Sim) ejectWithDelay(rs *routerState, f flit) {
-	s.ejectWheel.schedule(s.now, s.now+routerDelayDirect, f)
-	rs.work--
+//sim:domain
+func (s *Sim) ejectWithDelay(d *domain, r int, f flit) {
+	//detlint:allow hotalloc amortised staging growth; capacity is retained across cycles
+	d.ejects = append(d.ejects, f)
+	s.work[r]--
 }
 
 // flushEjections completes delayed ejections whose router traversal is done.

@@ -98,6 +98,18 @@ type Config struct {
 	// Adaptive optionally overrides per-packet path selection (UGAL etc.).
 	Adaptive AdaptivePolicy
 
+	// EngineJobs is the number of spatial domains the per-cycle link and
+	// router phases are stepped across, each on its own goroutine with a
+	// per-cycle barrier. 0 or 1 runs the classic serial loop; n > 1 is
+	// capped at the router count. Results are byte-identical at every
+	// value: domains are contiguous router-index ranges, cross-domain
+	// effects are staged per domain and merged in ascending domain order,
+	// which reproduces the serial engine's ascending-router-index order
+	// exactly (see docs/DETERMINISM.md). Because of that identity the knob
+	// is engine tuning, not simulation semantics — it is deliberately NOT
+	// part of slimnoc's RunSpec or PointKey.
+	EngineJobs int
+
 	WarmupCycles  int64
 	MeasureCycles int64
 	DrainCycles   int64
@@ -198,11 +210,15 @@ func EdgeBufVar(h, vcs int) func(dist int) int {
 type packet struct {
 	id       int64
 	src, dst int // nodes
-	// path/vcs either borrow a RouteTable's interned storage (static
-	// routing) or view the packet's own pathBuf/vcsBuf (adaptive routing);
-	// they are read-only either way.
+	// path/vcs/ports either borrow a RouteTable's interned storage (static
+	// routing) or view the packet's own pathBuf/vcsBuf/portsBuf (adaptive
+	// routing, or tables without compiled ports); they are read-only either
+	// way. ports[hop] is the output-port index at path[hop] toward
+	// path[hop+1], resolved once at enqueue so switch allocation never
+	// searches the adjacency.
 	path  []int32
 	vcs   []uint8
+	ports []uint8
 	flits int
 	class int
 
@@ -216,10 +232,12 @@ type packet struct {
 	// by hop because head and tail flits of one packet can occupy
 	// different routers simultaneously.
 	cbState []uint8
-	// pathBuf/vcsBuf are the packet-owned route storage for dynamically
-	// (adaptively) routed packets; retained across freelist recycles.
-	pathBuf []int32
-	vcsBuf  []uint8
+	// pathBuf/vcsBuf/portsBuf are the packet-owned route storage for
+	// dynamically (adaptively) routed packets; retained across freelist
+	// recycles.
+	pathBuf  []int32
+	vcsBuf   []uint8
+	portsBuf []uint8
 }
 
 // flit references its packet and position.
@@ -261,12 +279,6 @@ type creditEvent struct {
 	port, vc int32
 }
 
-// inputVC is one input buffer (port, vc) at a router.
-type inputVC struct {
-	q   ring[flit]
-	cap int
-}
-
 // cbPacket is a packet resident in (or streaming through) a central buffer.
 // Recycled through a freelist when its tail flit drains.
 type cbPacket struct {
@@ -275,37 +287,6 @@ type cbPacket struct {
 	outVC    int
 	stored   ring[flit] // flits currently in the CB
 	expected int        // flits still to arrive into the CB
-}
-
-// routerState holds all per-router simulation state.
-type routerState struct {
-	id    int
-	kp    int // network ports
-	ports int // kp + ejection ports handled separately
-	// in[port][vc]; port 0..kp-1 are network inputs (from Adj order).
-	in [][]inputVC
-	// outOwner[port][vc]: packet id owning the output VC, or -1.
-	outOwner [][]int64
-	// credits[port][vc] for EdgeBuffers (slots free at downstream input).
-	credits [][]int
-	// outLink[port]: index into Sim.links for each network output.
-	outLink []int
-	// inLink[port]: link arriving at this input; revPort[port]: this
-	// router's position in the upstream router's adjacency (credit target).
-	inLink  []int
-	revPort []int
-	// CBR state: cbq[port*VCs+vc] is the FIFO of CB-resident packets bound
-	// for that output (flat slice; the historical map keyed port*64+vc is
-	// gone, but the 6-bit VC bound it implied is still validated by New).
-	cbFree int
-	cbq    []ring[*cbPacket]
-	// work counts flits resident at this router — input buffers, central
-	// buffer, and attached NIC injection queues. The router stays in the
-	// active set while work > 0.
-	work int
-	// outUsed/inUsed are per-cycle switch-allocation scratch, cleared at
-	// the top of stepRouter.
-	outUsed, inUsed []bool
 }
 
 // nic is one node's network interface.
@@ -317,35 +298,67 @@ type nic struct {
 }
 
 // Sim is a runnable simulation instance.
+//
+// Router state lives in a struct-of-arrays layout: instead of an array of
+// per-router structs of slices, every field is one flat slice over the whole
+// network, indexed [r*stride+port] for per-port state and
+// [(r*stride+port)*vcs+vc] for per-VC state (stride = the network's maximum
+// router radix). The saturated sweep over all routers then walks contiguous
+// memory instead of chasing per-router pointers.
 type Sim struct {
-	cfg     Config
-	net     *topo.Network
-	rng     *rand.Rand
-	now     int64
-	routers []routerState
-	links   []link
-	// portAt[r] maps adjacency position -> input port at peer.
-	portAt [][]int
+	cfg    Config
+	net    *topo.Network
+	rng    *rand.Rand
+	now    int64
+	links  []link
 	nics   []nic
 	table  *routing.RouteTable // compiled static routes (nil when adaptive)
 	minTab *routing.RouteTable // memoized minimal candidates for adaptive policies
 	paths  *routing.Paths
 
-	// Active sets: the only entities visited each cycle.
-	activeRouters activeSet
-	activeLinks   activeSet
-	activeNICs    activeSet
+	// SoA router state. Geometry (immutable after New):
+	stride  int // max router radix; per-port index stride
+	vcs     int // cfg.VCs, hoisted
+	scheme  BufferScheme
+	kp      []int32 // [r] network port count
+	outLink []int32 // [r*stride+pi] link index of output pi
+	inLink  []int32 // [r*stride+pi] link arriving at input pi
+	revPort []int32 // [r*stride+pi] our port index at the upstream router
+	// Mutable per-VC state:
+	inQ      []ring[flit]      // [(r*stride+pi)*vcs+vc] input buffers
+	inCap    []int32           // [(r*stride+pi)*vcs+vc] input buffer capacity
+	outOwner []int64           // [(r*stride+pi)*vcs+vc] owning packet id, or -1
+	credits  []int32           // [(r*stride+pi)*vcs+vc] downstream slots free (EdgeBuffers)
+	cbq      []ring[*cbPacket] // [(r*stride+pi)*vcs+vc] CB queues (CentralBuffer only)
+	cbFree   []int32           // [r] central-buffer slots free
+	work     []int32           // [r] flits resident at the router (active-set signal)
+	// Per-cycle switch-allocation scratch, epoch-marked: a slot is "used
+	// this cycle" iff its entry equals the current cycle number, so there
+	// is nothing to clear — the per-cycle bool resets of the old layout
+	// are gone entirely.
+	outUsedAt []int64 // [r*stride+pi]
+	inUsedAt  []int64 // [r*stride+pi]
+	ejUsedAt  []int64 // [node] per-node ejection port budget
+
+	// Domain decomposition (see domain.go). doms always has >= 1 entry;
+	// the serial engine is simply the 1-domain instance of the same code.
+	doms     []domain
+	domOf    []int32 // [r] owning domain index
+	linkDom  []int32 // [link] domain of the link's receiving router
+	routerIn []bool  // [r] router is on its domain's active list
+	linkIn   []bool  // [link] link is on its receiving domain's active list
+	par      *parRunner
+
+	// Active NICs (source queues with packets); injection stays serial.
+	activeNICs activeSet
 
 	// Timing wheels replacing the per-cycle credit and ejection scans.
 	creditWheel *wheel[creditEvent]
 	ejectWheel  *wheel[flit]
 
-	ejUsed    []bool  // per-node ejection port budget, reset each cycle
-	ejTouched []int32 // ejUsed slots set this cycle (sparse reset)
-
-	// Freelists.
+	// Packet freelist (allocated and recycled in serial phases; the
+	// central-buffer freelists are per domain).
 	pktPool []*packet
-	cbPool  []*cbPacket
 
 	// Persistent emit callbacks so the hot loop creates no closures.
 	genEmit   func(src, dst, flits, class int)
@@ -478,34 +491,55 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("sim: VCs = %d out of range [1, %d]", cfg.VCs, maxVCs)
 	}
 	s := &Sim{
-		cfg: cfg,
-		net: cfg.Net,
-		rng: rand.New(rand.NewSource(cfg.Seed + 1)),
+		cfg:    cfg,
+		net:    cfg.Net,
+		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
+		vcs:    cfg.VCs,
+		scheme: cfg.Scheme,
 	}
 	nr := s.net.Nr
-	s.routers = make([]routerState, nr)
-	s.portAt = make([][]int, nr)
-	// Build links and router state.
+	// SoA geometry: one flat slice per field, stride = maximum radix.
+	s.kp = make([]int32, nr)
 	for r := 0; r < nr; r++ {
-		adj := s.net.Adj[r]
-		kp := len(adj)
-		rs := &s.routers[r]
-		rs.id = r
-		rs.kp = kp
-		rs.in = make([][]inputVC, kp)
-		rs.outOwner = make([][]int64, kp)
-		rs.credits = make([][]int, kp)
-		rs.outLink = make([]int, kp)
-		rs.inLink = make([]int, kp)
-		rs.revPort = make([]int, kp)
-		rs.cbFree = cfg.CBCap
-		rs.outUsed = make([]bool, kp)
-		rs.inUsed = make([]bool, kp)
-		if cfg.Scheme == CentralBuffer {
-			rs.cbq = make([]ring[*cbPacket], kp*cfg.VCs)
+		kp := len(s.net.Adj[r])
+		s.kp[r] = int32(kp)
+		if kp > s.stride {
+			s.stride = kp
 		}
-		s.portAt[r] = make([]int, kp)
 	}
+	if s.stride > 255 {
+		// Per-hop output ports are uint8 (packet.ports); no supported
+		// topology has a radix anywhere near this.
+		return nil, fmt.Errorf("sim: router radix %d exceeds the 255-port limit", s.stride)
+	}
+	np := nr * s.stride
+	nv := np * cfg.VCs
+	s.outLink = make([]int32, np)
+	s.inLink = make([]int32, np)
+	s.revPort = make([]int32, np)
+	s.inQ = make([]ring[flit], nv)
+	s.inCap = make([]int32, nv)
+	s.outOwner = make([]int64, nv)
+	s.credits = make([]int32, nv)
+	if cfg.Scheme == CentralBuffer {
+		s.cbq = make([]ring[*cbPacket], nv)
+	}
+	s.cbFree = make([]int32, nr)
+	for r := range s.cbFree {
+		s.cbFree[r] = int32(cfg.CBCap)
+	}
+	s.work = make([]int32, nr)
+	s.outUsedAt = make([]int64, np)
+	s.inUsedAt = make([]int64, np)
+	s.ejUsedAt = make([]int64, s.net.N())
+	for i := range s.outUsedAt {
+		s.outUsedAt[i] = -1
+		s.inUsedAt[i] = -1
+	}
+	for i := range s.ejUsedAt {
+		s.ejUsedAt[i] = -1
+	}
+	// Build links and wire them into the flat port arrays.
 	maxLat := int64(1)
 	for r := 0; r < nr; r++ {
 		adj := s.net.Adj[r]
@@ -533,13 +567,10 @@ func New(cfg Config) (*Sim, error) {
 			}
 			s.links = append(s.links, l)
 			lid := len(s.links) - 1
-			// Record at the sender.
-			sender := &s.routers[nb]
 			pos := portIndex(s.net.Adj[nb], r)
-			sender.outLink[pos] = lid
-			rs0 := &s.routers[r]
-			rs0.inLink[pi] = lid
-			rs0.revPort[pi] = pos
+			s.outLink[nb*s.stride+pos] = int32(lid)
+			s.inLink[r*s.stride+pi] = int32(lid)
+			s.revPort[r*s.stride+pi] = int32(pos)
 			// Input buffer capacity.
 			capFlits := 1
 			if cfg.Scheme == EdgeBuffers {
@@ -548,23 +579,21 @@ func New(cfg Config) (*Sim, error) {
 					capFlits = 1
 				}
 			}
-			rs := &s.routers[r]
-			rs.in[pi] = make([]inputVC, cfg.VCs)
-			for v := range rs.in[pi] {
-				rs.in[pi][v] = inputVC{cap: capFlits}
+			vb := (r*s.stride + pi) * cfg.VCs
+			for v := 0; v < cfg.VCs; v++ {
+				s.inCap[vb+v] = int32(capFlits)
 			}
 		}
 	}
 	// Init owners and credits now that capacities are known.
 	for r := 0; r < nr; r++ {
-		rs := &s.routers[r]
-		for pi := range rs.outOwner {
-			rs.outOwner[pi] = make([]int64, cfg.VCs)
-			rs.credits[pi] = make([]int, cfg.VCs)
+		for pi := 0; pi < int(s.kp[r]); pi++ {
+			vb := (r*s.stride + pi) * cfg.VCs
+			l := &s.links[s.outLink[r*s.stride+pi]]
+			peer := (l.to*s.stride + l.toPort) * cfg.VCs
 			for v := 0; v < cfg.VCs; v++ {
-				rs.outOwner[pi][v] = -1
-				l := s.links[rs.outLink[pi]]
-				rs.credits[pi][v] = s.routers[l.to].in[l.toPort][v].cap
+				s.outOwner[vb+v] = -1
+				s.credits[vb+v] = s.inCap[peer+v]
 			}
 		}
 	}
@@ -590,16 +619,22 @@ func New(cfg Config) (*Sim, error) {
 			if err != nil {
 				return nil, err
 			}
+			// The table is private to this simulation, so ports can be
+			// compiled in place. Shared tables get theirs from
+			// slimnoc.CompileRouteTable; tables without ports fall back to
+			// per-packet resolution at enqueue.
+			if err := tab.CompilePorts(s.net.Adj); err != nil {
+				return nil, err
+			}
 			s.table = tab
 		}
 	}
+	// Domain decomposition: contiguous router-index ranges (see domain.go).
+	s.buildDomains(normalizeJobs(cfg.EngineJobs, nr))
 	// Engine machinery.
-	s.activeRouters = newActiveSet(nr)
-	s.activeLinks = newActiveSet(len(s.links))
 	s.activeNICs = newActiveSet(s.net.N())
 	s.creditWheel = newWheel[creditEvent](maxLat + 1)
 	s.ejectWheel = newWheel[flit](routerDelayDirect + 1)
-	s.ejUsed = make([]bool, s.net.N())
 	s.lat = make([]int64, 0, cfg.LatSampleCap)
 	s.genEmit = func(src, dst, flits, class int) {
 		s.enqueuePacket(src, dst, flits, class, s.now >= s.cfg.WarmupCycles)
@@ -664,7 +699,7 @@ func (s *Sim) LinkOccupancy(a, b int) int {
 	if !ok {
 		return 0
 	}
-	return s.links[s.routers[a].outLink[pos]].occupancy
+	return s.links[s.outLink[a*s.stride+pos]].occupancy
 }
 
 // PathOccupancy sums link occupancy along a router path (UGAL-G signal).
@@ -704,6 +739,8 @@ func (s *Sim) RunContext(ctx context.Context, every int64, onProgress func(Progr
 	if every <= 0 {
 		every = 1024
 	}
+	s.startWorkers()
+	defer s.stopWorkers()
 	var runErr error
 	for s.now = 0; s.now < total; s.now++ {
 		if s.now%every == 0 {
@@ -762,25 +799,43 @@ func (s *Sim) RunContext(ctx context.Context, every int64, onProgress func(Progr
 
 // step advances the simulation by one cycle. The phase order matches the
 // original full-scan engine exactly; only the iteration strategy changed.
+// The link and router phases run per domain — in parallel when workers are
+// live, inline in ascending domain order otherwise — with cross-domain
+// effects staged and merged in ascending domain order (see domain.go).
 //
 //sim:hot
 func (s *Sim) step() {
 	s.stepGenerate()
 	s.stepCredits()
 	s.flushEjections()
-	s.stepLinks()
-	s.stepRouters()
+	if s.par != nil && s.par.started {
+		s.parPhase(cmdLinks)
+		s.parPhase(cmdRouters)
+	} else {
+		for di := range s.doms {
+			s.stepLinksDomain(&s.doms[di])
+		}
+		for di := range s.doms {
+			s.stepRoutersDomain(&s.doms[di])
+		}
+	}
+	s.mergeDomains()
 	s.stepInject()
 	// Occupancy telemetry, sampled at end of cycle.
 	s.eng.cycles++
-	s.eng.routerSum += int64(s.activeRouters.size())
-	s.eng.linkSum += int64(s.activeLinks.size())
-	s.eng.nicSum += int64(s.activeNICs.size())
-	if n := s.activeRouters.size(); n > s.eng.routerPeak {
-		s.eng.routerPeak = n
+	ar, al := 0, 0
+	for di := range s.doms {
+		ar += len(s.doms[di].routerList)
+		al += len(s.doms[di].linkList)
 	}
-	if n := s.activeLinks.size(); n > s.eng.linkPeak {
-		s.eng.linkPeak = n
+	s.eng.routerSum += int64(ar)
+	s.eng.linkSum += int64(al)
+	s.eng.nicSum += int64(s.activeNICs.size())
+	if ar > s.eng.routerPeak {
+		s.eng.routerPeak = ar
+	}
+	if al > s.eng.linkPeak {
+		s.eng.linkPeak = al
 	}
 	if n := s.activeNICs.size(); n > s.eng.nicPeak {
 		s.eng.nicPeak = n
@@ -836,7 +891,7 @@ func (s *Sim) allocPacket() *packet {
 //
 //sim:hot
 func (s *Sim) freePacket(p *packet) {
-	p.path, p.vcs = nil, nil
+	p.path, p.vcs, p.ports = nil, nil, nil
 	s.pktPool = append(s.pktPool, p)
 }
 
@@ -865,6 +920,17 @@ func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 		p.vcs = p.vcsBuf
 	} else {
 		p.path, p.vcs = s.table.Route(srcR, dstR)
+		p.ports = s.table.Ports(srcR, dstR)
+	}
+	if p.ports == nil && len(p.path) > 1 {
+		// Adaptive route or a shared table without compiled ports: resolve
+		// the per-hop output ports once here, out of the switch-allocation
+		// hot path.
+		p.portsBuf = p.portsBuf[:0]
+		for i := 0; i+1 < len(p.path); i++ {
+			p.portsBuf = append(p.portsBuf, uint8(s.portToward(int(p.path[i]), int(p.path[i+1]))))
+		}
+		p.ports = p.portsBuf
 	}
 	if s.cfg.Scheme == CentralBuffer {
 		// Reset the per-hop bypass decisions, reusing capacity.
@@ -889,46 +955,25 @@ func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 func (s *Sim) stepCredits() {
 	evs := s.creditWheel.take(s.now)
 	for _, ev := range evs {
-		s.routers[ev.router].credits[ev.port][ev.vc]++
+		s.credits[(int(ev.router)*s.stride+int(ev.port))*s.vcs+int(ev.vc)]++
 	}
 }
 
-// stepLinks delivers arrived flits into input buffers (or CB staging), one
-// VC lane at a time (ElastiStore-style independent per-VC handshakes). Only
-// links carrying flits are visited.
+// routerGainsFlit accounts a flit arriving at router r and wakes it on its
+// owning domain's active list. Callers are either the r-owning domain's
+// link phase or the serial injection phase, so the list append is always
+// single-writer.
 //
 //sim:hot
-func (s *Sim) stepLinks() {
-	s.activeLinks.forEachSorted(func(li int) bool {
-		l := &s.links[li]
-		for vc := range l.lanes {
-			lane := &l.lanes[vc]
-			for lane.len() > 0 {
-				lf := lane.front()
-				if lf.arrive > s.now {
-					break
-				}
-				in := &s.routers[l.to].in[l.toPort][vc]
-				if s.cfg.Scheme != EdgeBuffers && in.q.len() >= in.cap {
-					break // elastic backpressure: flit waits in the pipeline
-				}
-				in.q.push(lf.f)
-				lane.pop()
-				l.pending--
-				l.perVCInFly[vc]--
-				s.routerGainsFlit(l.to)
-			}
-		}
-		return l.pending > 0
-	})
-}
-
-// routerGainsFlit accounts a flit arriving at router r and wakes it.
-//
-//sim:hot
+//sim:domain
 func (s *Sim) routerGainsFlit(r int) {
-	s.routers[r].work++
-	s.activeRouters.add(r)
+	s.work[r]++
+	if !s.routerIn[r] {
+		s.routerIn[r] = true
+		d := &s.doms[s.domOf[r]]
+		//detlint:allow hotalloc amortised active-list growth; capacity is retained across cycles
+		d.routerList = append(d.routerList, int32(r))
+	}
 }
 
 // stepInject moves flits from source queues into NIC injection buffers.

@@ -5,11 +5,18 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'BenchmarkEngine|BenchmarkCampaign' -benchmem . | tee bench.txt
+//	go test -run '^$' -bench 'BenchmarkEngine|BenchmarkCampaign' -benchmem -count=3 . | tee bench.txt
 //	go run ./internal/tools/benchjson [-baseline old_bench.txt] bench.txt > BENCH_sim.json
 //
+// Repeated samples of one benchmark (from -count=N) aggregate into a single
+// entry: metrics are means across the samples, and the entry additionally
+// reports the sample count plus the ns/op standard deviation and relative
+// spread ((max-min)/mean) — the noise floor a claimed speedup has to clear.
+//
 // With -baseline, benchmarks present in both files additionally report the
-// baseline ns/op and the speedup factor (baseline/current).
+// baseline ns/op and the speedup factor (baseline/current); the baseline
+// file aggregates the same way, so a multi-sample baseline compares by its
+// mean.
 package main
 
 import (
@@ -18,16 +25,26 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result.
+// Benchmark is one parsed benchmark result — after aggregation, the mean of
+// all samples of one name.
 type Benchmark struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	// Samples is how many -count repetitions were aggregated into this
+	// entry (omitted for a single run).
+	Samples int `json:"samples,omitempty"`
+	// NsPerOpStddev and NsPerOpSpread quantify run-to-run noise across the
+	// samples: the sample standard deviation of ns/op and the relative
+	// spread (max-min)/mean. Present only with 2+ samples.
+	NsPerOpStddev float64 `json:"ns_per_op_stddev,omitempty"`
+	NsPerOpSpread float64 `json:"ns_per_op_spread,omitempty"`
 	// BaselineNsPerOp/Speedup are present only when -baseline was given
 	// and contained this benchmark.
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
@@ -58,6 +75,7 @@ func main() {
 		parseInto(&rep, f)
 		f.Close()
 	}
+	aggregate(&rep)
 
 	if *baseline != "" {
 		f, err := os.Open(*baseline)
@@ -67,6 +85,7 @@ func main() {
 		var base Report
 		parseInto(&base, f)
 		f.Close()
+		aggregate(&base)
 		byName := make(map[string]Benchmark, len(base.Benchmarks))
 		for _, b := range base.Benchmarks {
 			byName[b.Name] = b
@@ -137,6 +156,71 @@ func parseInto(rep *Report, r io.Reader) {
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
+}
+
+// aggregate folds repeated samples of one benchmark name (a -count=N run)
+// into a single entry in first-appearance order: per-metric means, the
+// summed iteration count, and the ns/op noise statistics.
+func aggregate(rep *Report) {
+	order := make([]string, 0, len(rep.Benchmarks))
+	groups := make(map[string][]Benchmark)
+	for _, b := range rep.Benchmarks {
+		if _, ok := groups[b.Name]; !ok {
+			order = append(order, b.Name)
+		}
+		groups[b.Name] = append(groups[b.Name], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		agg := Benchmark{Name: name, Metrics: make(map[string]float64)}
+		var ns []float64
+		for _, b := range g {
+			agg.Iterations += b.Iterations
+			//detlint:ordered accumulates commutative per-key sums; rendered via sorted JSON keys
+			for k, v := range b.Metrics {
+				agg.Metrics[k] += v
+			}
+			if v, ok := b.Metrics["ns/op"]; ok {
+				ns = append(ns, v)
+			}
+		}
+		//detlint:ordered divides each key independently; no output depends on visit order
+		for k := range agg.Metrics {
+			agg.Metrics[k] /= float64(len(g))
+		}
+		if len(g) > 1 {
+			agg.Samples = len(g)
+			agg.NsPerOpStddev, agg.NsPerOpSpread = noise(ns)
+		}
+		out = append(out, agg)
+	}
+	rep.Benchmarks = out
+}
+
+// noise returns the sample standard deviation and the relative spread
+// ((max-min)/mean) of the ns/op samples.
+func noise(ns []float64) (stddev, spread float64) {
+	if len(ns) < 2 {
+		return 0, 0
+	}
+	var sum float64
+	lo, hi := ns[0], ns[0]
+	for _, v := range ns {
+		sum += v
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	mean := sum / float64(len(ns))
+	var ss float64
+	for _, v := range ns {
+		d := v - mean
+		ss += d * d
+	}
+	stddev = math.Sqrt(ss / float64(len(ns)-1))
+	if mean > 0 {
+		spread = (hi - lo) / mean
+	}
+	return stddev, spread
 }
 
 // trimProcSuffix drops the trailing -GOMAXPROCS marker (BenchmarkFoo-8 ->

@@ -156,12 +156,13 @@ func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) 
 // sequential sweeps builds each distinct network once, not once per sweep.
 // One Run call executes at a time per Campaign value.
 type Campaign struct {
-	jobs      int
-	sinks     []Sink
-	onPoint   func(PointResult)
-	pointOpts func(i int, spec RunSpec) []Option
-	store     *store.Store
-	cache     *netCache
+	jobs       int
+	engineJobs int
+	sinks      []Sink
+	onPoint    func(PointResult)
+	pointOpts  func(i int, spec RunSpec) []Option
+	store      *store.Store
+	cache      *netCache
 }
 
 // CampaignOption configures a Campaign.
@@ -173,6 +174,23 @@ type CampaignOption func(*Campaign)
 // wall-clock only, never results.
 func WithJobs(n int) CampaignOption {
 	return func(c *Campaign) { c.jobs = n }
+}
+
+// WithPointEngineJobs steps every point's engine across n parallel spatial
+// domains (the campaign form of the Runner's WithEngineJobs; n < 0 selects
+// runtime.NumCPU()). Orthogonal to WithJobs: that parallelises across
+// points, this parallelises inside each one — a few huge points want engine
+// jobs, many small points want campaign jobs. Engine results are
+// byte-identical at every value, so unlike WithPointOptions this does NOT
+// bypass an attached result store: a cached point and a re-simulated one
+// agree exactly.
+func WithPointEngineJobs(n int) CampaignOption {
+	return func(c *Campaign) {
+		if n < 0 {
+			n = runtime.NumCPU()
+		}
+		c.engineJobs = n
+	}
 }
 
 // WithSink attaches a result sink; repeatable. Sinks receive every executed
@@ -408,6 +426,9 @@ func (c *Campaign) runPoint(ctx context.Context, i int, spec RunSpec, cache *net
 				opts = append(opts, WithRouteTable(tab))
 			}
 		}
+	}
+	if c.engineJobs > 1 {
+		opts = append(opts, WithEngineJobs(c.engineJobs))
 	}
 	// A network the cache cannot build may still come from the point
 	// options (WithNetwork); defer the error until after they apply.

@@ -50,6 +50,12 @@ type Estimator struct {
 	// MaxCycles bounds one episode (0 = the engine default); exceeding it
 	// means an undeliverable transfer and fails the episode.
 	MaxCycles int64
+	// EngineJobs steps each episode's engine across that many parallel
+	// spatial domains (0 or 1 = serial; see sim.Config.EngineJobs).
+	// Latencies are byte-identical at every value, so it is not part of the
+	// estimator's cache identity. Like MaxCycles, set it before the
+	// estimator is shared across goroutines.
+	EngineJobs int
 }
 
 // EstimatorSpec canonicalizes a RunSpec to the fields an estimate episode
@@ -165,7 +171,9 @@ func (e *Estimator) RouterPath(src, dst int) ([]int, error) {
 // are deterministic and independent, so concurrent calls return the same
 // results as serial ones.
 func (e *Estimator) Estimate(transfers []Transfer) ([]EstimateResult, error) {
-	lats, err := sim.EstimateLatencies(e.cfg, transfers, e.MaxCycles)
+	cfg := e.cfg
+	cfg.EngineJobs = e.EngineJobs
+	lats, err := sim.EstimateLatencies(cfg, transfers, e.MaxCycles)
 	if err != nil {
 		return nil, err
 	}

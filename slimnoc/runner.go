@@ -3,6 +3,7 @@ package slimnoc
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/routing"
@@ -67,6 +68,7 @@ type Runner struct {
 	bufCap        func(dist int) int
 	progress      func(Progress)
 	progressEvery int64
+	engineJobs    int
 }
 
 // Option customises a Runner beyond what the declarative spec expresses.
@@ -118,6 +120,20 @@ func WithEdgeBufferSizing(f func(dist int) int) Option {
 // simulator default of 1024) to fn during the run.
 func WithProgress(every int64, fn func(Progress)) Option {
 	return func(r *Runner) { r.progress, r.progressEvery = fn, every }
+}
+
+// WithEngineJobs steps the engine's spatial router domains on n parallel
+// workers (n < 0 selects runtime.NumCPU()). Results are byte-identical at
+// every value — domain parallelism is an execution strategy, not a model
+// parameter — which is also why this is a Runner option rather than a
+// RunSpec field: it must not enter the spec's canonical bytes or the
+// PointKey derived from them. 0 and 1 mean serial; values above the router
+// count are clamped.
+func WithEngineJobs(n int) Option {
+	if n < 0 {
+		n = runtime.NumCPU()
+	}
+	return func(r *Runner) { r.engineJobs = n }
 }
 
 // NewRunner prepares a Runner for the spec.
@@ -261,6 +277,7 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 		WarmupCycles:  spec.Sim.WarmupCycles,
 		MeasureCycles: spec.Sim.MeasureCycles,
 		DrainCycles:   spec.Sim.DrainCycles,
+		EngineJobs:    r.engineJobs,
 	}
 	s, err := sim.New(cfg)
 	if err != nil {
@@ -294,7 +311,17 @@ func CompileRouteTable(net *Network, kind Kind, algorithm string, vcs int) (*Rou
 	if err != nil {
 		return nil, err
 	}
-	return routing.Compile(net.Nr, pb)
+	tab, err := routing.Compile(net.Nr, pb)
+	if err != nil {
+		return nil, err
+	}
+	// Bake the per-hop output ports in while the table is still private:
+	// engines sharing the frozen table then skip the per-packet adjacency
+	// searches entirely (sim.New cannot do this itself on a shared table).
+	if err := tab.CompilePorts(net.Adj); err != nil {
+		return nil, err
+	}
+	return tab, nil
 }
 
 // Run builds a Runner for the spec and executes it.

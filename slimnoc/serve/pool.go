@@ -26,6 +26,13 @@ import (
 type Pool struct {
 	slots chan struct{}
 
+	// EngineJobs is copied onto every estimator the pool builds (see
+	// slimnoc.Estimator.EngineJobs): each episode's engine steps across
+	// that many parallel spatial domains, with byte-identical latencies at
+	// every value — so it does not enter the engine key or the response
+	// cache identity. Set before the pool serves sessions.
+	EngineJobs int
+
 	mu      sync.Mutex
 	engines map[string]*poolEntry
 }
@@ -75,6 +82,9 @@ func (p *Pool) Engine(spec slimnoc.RunSpec) (*slimnoc.Estimator, error) {
 	p.mu.Unlock()
 	e.once.Do(func() {
 		e.est, e.err = slimnoc.NewEstimator(canon)
+		if e.err == nil {
+			e.est.EngineJobs = p.EngineJobs
+		}
 	})
 	return e.est, e.err
 }
