@@ -417,6 +417,40 @@ func BenchmarkEngine(b *testing.B) {
 			}
 		})
 	}
+
+	// The idle-drain pair is the event calendar's headline: near-zero load
+	// followed by a long drain window that is almost entirely dead cycles,
+	// run once through the calendar (the default) and once with
+	// WithCycleStep forcing the classic loop. The ns/op ratio between the
+	// two is the calendar speedup on idle-heavy runs; both stay serial so
+	// the ratio isolates skipping from domain parallelism, and both must
+	// deliver identical traffic.
+	idleSpec := slimnoc.RunSpec{
+		Network: slimnoc.NetworkSpec{Preset: "sn_subgr_200"},
+		Traffic: slimnoc.TrafficSpec{Pattern: "rnd", Rate: 0.002},
+		SMART:   true,
+		Sim:     slimnoc.SimSpec{WarmupCycles: 200, MeasureCycles: 800, DrainCycles: 500000, Seed: 1},
+	}
+	for _, bc := range []struct {
+		name string
+		opts []slimnoc.Option
+	}{
+		{"idle-drain", nil},
+		{"idle-drain-cyclestep", []slimnoc.Option{slimnoc.WithCycleStep()}},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := slimnoc.Run(context.Background(), idleSpec, bc.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Metrics.Delivered == 0 {
+					b.Fatal("nothing delivered")
+				}
+			}
+		})
+	}
 }
 
 // campaignBenchPoints expands a quick fig12-style sweep: the small-network

@@ -49,6 +49,7 @@ func main() {
 		full     = flag.Bool("full", false, "paper methodology: full grids and cycle counts (default)")
 		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = NumCPU, 1 = serial)")
 		ejobs    = flag.Int("engine-jobs", 0, "parallel engine domains per point (0/1 = serial, -1 = NumCPU); results are byte-identical at every value")
+		memCap   = flag.Int64("mem-budget", 0, "per-point engine memory budget in bytes (0 = each figure's declared budget, -1 = no cap); oversized points fail fast instead of allocating")
 		seed     = flag.Int64("seed", 1, "base seed every per-point seed derives from")
 	)
 	flag.Parse()
@@ -60,14 +61,14 @@ func main() {
 		os.Exit(2)
 	}
 	os.Exit(run(*list, *figsFlag, *all, *storeDir, *outDir,
-		(*short || *quick) && !*full, *jobs, *ejobs, *seed))
+		(*short || *quick) && !*full, *jobs, *ejobs, *memCap, *seed))
 }
 
 // run executes the driver and returns the process exit code: 0 on success,
 // 1 on failure, 130 when interrupted (with the store holding everything
 // completed so far).
-func run(list bool, figsFlag string, all bool, storeDir, outDir string, quick bool, jobs, engineJobs int, seed int64) int {
-	opts := exp.Options{Quick: quick, Seed: seed, Jobs: jobs, EngineJobs: engineJobs}
+func run(list bool, figsFlag string, all bool, storeDir, outDir string, quick bool, jobs, engineJobs int, memBudget, seed int64) int {
+	opts := exp.Options{Quick: quick, Seed: seed, Jobs: jobs, EngineJobs: engineJobs, MemBudget: memBudget}
 	manifest := exp.Manifest(opts)
 
 	if list || (figsFlag == "" && !all) {

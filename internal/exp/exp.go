@@ -37,6 +37,13 @@ type Options struct {
 	// big saturated points wants engine parallelism.
 	EngineJobs int
 
+	// MemBudget caps each point's estimated engine footprint in bytes
+	// (slimnoc.WithPointMemBudget). 0 defers to the figure's declared
+	// budget (Figure.MemBudget); a negative value disables any cap.
+	// Oversized points fail fast with a sizing error instead of
+	// allocating; runs that fit are unaffected.
+	MemBudget int64
+
 	WarmupCycles  int64
 	MeasureCycles int64
 	DrainCycles   int64
@@ -181,6 +188,9 @@ func Run(ctx context.Context, rs RunSpec) (sim.Result, error) {
 	if rs.Opts.EngineJobs != 0 {
 		opts = append(opts, slimnoc.WithEngineJobs(rs.Opts.EngineJobs))
 	}
+	if rs.Opts.MemBudget > 0 {
+		opts = append(opts, slimnoc.WithMemBudget(rs.Opts.MemBudget))
+	}
 	res, err := slimnoc.Run(ctx, spec, opts...)
 	if err != nil {
 		return sim.Result{}, err
@@ -217,6 +227,9 @@ func RunBatch(ctx context.Context, o Options, points []RunSpec) ([]sim.Result, e
 	}
 	if o.EngineJobs != 0 {
 		copts = append(copts, slimnoc.WithPointEngineJobs(o.EngineJobs))
+	}
+	if o.MemBudget > 0 {
+		copts = append(copts, slimnoc.WithPointMemBudget(o.MemBudget))
 	}
 	results, err := slimnoc.RunCampaign(ctx, specs, copts...)
 	if err != nil {

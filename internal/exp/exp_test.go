@@ -52,7 +52,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "tab2", "tab3", "tab4", "tab5",
 		"tab6", "sec55", "sens-sizes", "sens-conc", "sens-cycle", "resil",
-		"abl-cbsize", "abl-vcs", "abl-smarth"}
+		"abl-cbsize", "abl-vcs", "abl-smarth", "scale-smoke"}
 	have := map[string]bool{}
 	for _, id := range ids {
 		have[id] = true

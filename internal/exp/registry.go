@@ -53,6 +53,7 @@ func Registry() []Experiment {
 		{"abl-cbsize", "Central-buffer capacity ablation (§5.2.1)", AblCBSize},
 		{"abl-vcs", "Virtual-channel count ablation (§4.3)", AblVCs},
 		{"abl-smarth", "SMART hop-factor ablation (§3.2.2)", AblSmartH},
+		{"scale-smoke", "10k-endpoint smoke under memory budget (§5.5)", ScaleSmoke},
 	}
 }
 

@@ -33,9 +33,19 @@ type FigureRun struct {
 // aborts and returns the partial FigureRun.
 func RunFigure(ctx context.Context, f Figure, o Options, copts ...slimnoc.CampaignOption) (FigureRun, error) {
 	run := FigureRun{Figure: f}
-	campaign := slimnoc.NewCampaign(append([]slimnoc.CampaignOption{
+	// The figure's declared budget applies unless the caller overrides it:
+	// a positive Options.MemBudget replaces it, a negative one disables it.
+	budget := f.MemBudget
+	if o.MemBudget != 0 {
+		budget = o.MemBudget
+	}
+	base := []slimnoc.CampaignOption{
 		slimnoc.WithJobs(o.Jobs), slimnoc.WithPointEngineJobs(o.EngineJobs),
-	}, copts...)...)
+	}
+	if budget > 0 {
+		base = append(base, slimnoc.WithPointMemBudget(budget))
+	}
+	campaign := slimnoc.NewCampaign(append(base, copts...)...)
 	for _, sweep := range f.Sweeps {
 		points, err := sweep.Points()
 		if err != nil {

@@ -1,0 +1,54 @@
+// The scale-* family's derived-table companion: the 10k-endpoint smoke
+// point, reported with the event-calendar telemetry that makes runs at this
+// scale practical.
+
+package exp
+
+import (
+	"context"
+
+	"repro/internal/stats"
+	"repro/slimnoc"
+)
+
+// scaleMemBudget is the scale family's declared per-point engine budget
+// (kept in sync with scaleManifest).
+const scaleMemBudget = 256 << 20
+
+// ScaleSmoke runs the scale-smoke point — the 1250-router / 10000-endpoint
+// subgroup SN at low load — under the family's 256 MiB engine budget and
+// reports it together with the calendar's skip telemetry: at this load the
+// overwhelming majority of cycles are dead and are jumped over exactly,
+// which is why a 10k-endpoint point fits in smoke-test time. A non-zero
+// Options.MemBudget overrides the declared budget (negative disables it).
+func ScaleSmoke(ctx context.Context, o Options) []*stats.Table {
+	if o.MemBudget == 0 {
+		o.MemBudget = scaleMemBudget
+	}
+	t := &stats.Table{
+		ID:    "scale-smoke",
+		Title: "Scale smoke: 10k-endpoint SN under a 256 MiB engine budget (§5.5 scale-out)",
+		Header: []string{"network", "nodes", "load", "latency_cycles",
+			"throughput", "cycles", "cycles_skipped", "skip_%"},
+	}
+	rs := RunSpec{Spec: MustNet("sn_subgr_10000"), Pattern: "RND",
+		Rate: 0.008, SMART: true, Opts: o}
+	spec, opts := rs.facade()
+	if o.EngineJobs != 0 {
+		opts = append(opts, slimnoc.WithEngineJobs(o.EngineJobs))
+	}
+	if o.MemBudget > 0 {
+		opts = append(opts, slimnoc.WithMemBudget(o.MemBudget))
+	}
+	res, err := slimnoc.Run(ctx, spec, opts...)
+	if err != nil {
+		panic(err)
+	}
+	skip := 0.0
+	if res.Raw.Cycles > 0 {
+		skip = 100 * float64(res.Engine.CyclesSkipped) / float64(res.Raw.Cycles)
+	}
+	t.AddRowF(rs.Spec.Name, rs.Spec.Net.N(), rs.Rate, res.Raw.AvgLatency,
+		res.Raw.Throughput, res.Raw.Cycles, res.Engine.CyclesSkipped, skip)
+	return []*stats.Table{t}
+}

@@ -202,6 +202,15 @@ func (t *RouteTable) NumVCs() int { return t.vcs }
 // Nr returns the router count the table was compiled for.
 func (t *RouteTable) Nr() int { return t.nr }
 
+// MemBytes returns the table's resident footprint: the interned path,
+// VC and port bytes plus the three per-pair offset arrays. Memory-budget
+// enforcement (sim.Config.MemBudgetBytes) uses it to account a shared
+// compiled table against a run's budget without reflection.
+func (t *RouteTable) MemBytes() int64 {
+	return int64(len(t.routers))*4 + int64(len(t.hopVCs)) + int64(len(t.ports)) +
+		int64(len(t.off))*4 + int64(len(t.voff))*4 + int64(len(t.plen))*4
+}
+
 // Pairs returns the number of compiled (src,dst) pairs (all nr^2 for an
 // eager table).
 func (t *RouteTable) Pairs() int {

@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -154,10 +155,13 @@ func (b *onOffSource) OnDelivered(t int64, src, dst, flits, class int, emit func
 
 // reqReplySource mirrors traffic.ReqReply: a closed loop where every node
 // keeps `window` requests outstanding, each delivered request triggers a
-// data-sized reply, and each delivered reply returns window credit.
+// data-sized reply, and each delivered reply returns window credit. Like
+// the real source it implements NextFirer: with every window full Generate
+// is a zero-RNG no-op until a reply lands.
 type reqReplySource struct {
 	n, window   int
 	outstanding []int
+	totalOut    int
 }
 
 func (s *reqReplySource) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int)) {
@@ -174,6 +178,7 @@ func (s *reqReplySource) Generate(t int64, rng *rand.Rand, emit func(src, dst, f
 				}
 			}
 			s.outstanding[node]++
+			s.totalOut++
 		}
 	}
 }
@@ -184,7 +189,15 @@ func (s *reqReplySource) OnDelivered(t int64, src, dst, flits, class int, emit f
 		emit(dst, src, 6, 2)
 	case 2:
 		s.outstanding[dst]--
+		s.totalOut--
 	}
+}
+
+func (s *reqReplySource) NextFire(t int64) int64 {
+	if s.outstanding != nil && s.totalOut >= s.n*s.window {
+		return int64(math.MaxInt64)
+	}
+	return t + 1
 }
 
 // TestSteadyStateZeroAllocsWorkloads extends the zero-allocation contract to
@@ -221,6 +234,90 @@ func TestSteadyStateZeroAllocsWorkloads(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestSteadyStateZeroAllocsCalendar extends the zero-allocation contract to
+// the calendar path: the loop the engine actually runs — step, then a skip
+// decision — must stay allocation-free even when skips fire, which they do
+// constantly on an idle network. The idle regime is exactly where the
+// calendar earns its keep, so an allocating skip would hand back the win.
+func TestSteadyStateZeroAllocsCalendar(t *testing.T) {
+	for _, sc := range []struct {
+		name   string
+		scheme BufferScheme
+	}{
+		{"EB", EdgeBuffers},
+		{"CBR", CentralBuffer},
+		{"EL", ElasticLinks},
+	} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			s := newEngineSim(t, sc.scheme, 0.06)
+			// Step through generation so the measured window covers the
+			// drain: live traffic first (skip decisions that must decline),
+			// then the drained network (skips that fire).
+			genEnd := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+			for s.now = 0; s.now < genEnd; s.now++ {
+				s.step()
+			}
+			total := genEnd + s.cfg.DrainCycles
+			allocs := testing.AllocsPerRun(500, func() {
+				s.step()
+				s.skipAhead(total)
+				s.now++
+			})
+			if allocs != 0 {
+				t.Fatalf("calendar cycle loop allocates %.2f times per cycle, want 0", allocs)
+			}
+			if s.eng.cyclesSkipped == 0 {
+				t.Fatal("drain phase skipped nothing; skip path not exercised")
+			}
+		})
+	}
+}
+
+// TestSkipAccounting pins the CyclesSkipped/CalendarPeak telemetry: nonzero
+// on an idle workload (where the drain phase alone is thousands of dead
+// cycles), exactly zero at saturation (active sets never empty, so the
+// calendar never gets a skip), and exactly zero under Config.CycleStep.
+func TestSkipAccounting(t *testing.T) {
+	t.Run("IdleSkips", func(t *testing.T) {
+		s := newEngineSim(t, EdgeBuffers, 0.002)
+		s.cfg.Traffic = &reqReplySource{n: s.net.N(), window: 1}
+		s.Run()
+		st := s.EngineStats()
+		if st.CyclesSkipped == 0 {
+			t.Fatalf("idle closed loop skipped nothing: %+v", st)
+		}
+		if st.CalendarPeak == 0 {
+			t.Fatalf("skips fired but no calendar backlog was sampled: %+v", st)
+		}
+		if st.CyclesSkipped >= st.Cycles {
+			t.Fatalf("skipped %d of %d cycles; skips must be a strict subset", st.CyclesSkipped, st.Cycles)
+		}
+	})
+	t.Run("SaturationNeverSkips", func(t *testing.T) {
+		s := newEngineSim(t, EdgeBuffers, 0.40)
+		s.cfg.DrainCycles = 500 // keep the saturated drain bounded
+		s.Run()
+		st := s.EngineStats()
+		if st.CyclesSkipped != 0 {
+			t.Fatalf("saturated run skipped %d cycles, want exactly 0", st.CyclesSkipped)
+		}
+		if st.CalendarPeak != 0 {
+			t.Fatalf("saturated run sampled calendar peak %d, want 0 (no skip decisions)", st.CalendarPeak)
+		}
+	})
+	t.Run("CycleStepNeverSkips", func(t *testing.T) {
+		s := newEngineSim(t, EdgeBuffers, 0.002)
+		s.cfg.CycleStep = true
+		s.calendar = false
+		s.Run()
+		st := s.EngineStats()
+		if st.CyclesSkipped != 0 || st.CalendarPeak != 0 {
+			t.Fatalf("CycleStep run reported skip telemetry: %+v", st)
+		}
+	})
 }
 
 // TestPercentile pins the nearest-rank floor semantics of the latency
@@ -309,10 +406,75 @@ func TestWheel(t *testing.T) {
 	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("scheduling beyond the horizon must panic")
+			t.Fatal("scheduling at or before now must panic")
 		}
 	}()
-	w.schedule(10, 15, 1)
+	w.schedule(10, 10, 1)
+}
+
+// TestWheelOverflow pins the overflow path: an event scheduled beyond the
+// horizon used to panic ("wheel event outside horizon"); it now parks in the
+// overflow list and still fires at exactly its due cycle — including when
+// the clock jumps straight there, as the calendar's skip does.
+func TestWheelOverflow(t *testing.T) {
+	w := newWheel[int](5)
+	w.schedule(10, 30, 1) // far beyond the 5-cycle horizon
+	w.schedule(10, 12, 2) // in-horizon neighbour stays on the fast path
+	if w.pending != 2 || w.peak != 2 {
+		t.Fatalf("pending/peak = %d/%d, want 2/2", w.pending, w.peak)
+	}
+	if got := w.nextDue(10); got != 12 {
+		t.Fatalf("nextDue(10) = %d, want 12", got)
+	}
+	if got := w.take(12); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("take(12) = %v", got)
+	}
+	if got := w.nextDue(12); got != 30 {
+		t.Fatalf("nextDue(12) = %d, want 30", got)
+	}
+	// Cycle-by-cycle arrival at the due cycle.
+	for now := int64(13); now < 30; now++ {
+		if got := w.take(now); len(got) != 0 {
+			t.Fatalf("take(%d) = %v, want empty", now, got)
+		}
+	}
+	if got := w.take(30); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("take(30) = %v, want [1]", got)
+	}
+	if w.pending != 0 {
+		t.Fatalf("pending = %d after drain", w.pending)
+	}
+	// A skip-style jump: schedule beyond the horizon, then take at the due
+	// cycle without visiting the cycles in between.
+	w.schedule(30, 95, 7)
+	if got := w.nextDue(30); got != 95 {
+		t.Fatalf("nextDue(30) = %d, want 95", got)
+	}
+	if got := w.take(95); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("take(95) after jump = %v, want [7]", got)
+	}
+}
+
+// TestWheelNextDue pins the bucket-to-cycle arithmetic across wraparound.
+func TestWheelNextDue(t *testing.T) {
+	w := newWheel[int](4)
+	if got := w.nextDue(100); got != int64(math.MaxInt64) {
+		t.Fatalf("nextDue on empty wheel = %d, want MaxInt64", got)
+	}
+	w.schedule(100, 103, 1)
+	w.schedule(100, 101, 2)
+	if got := w.nextDue(100); got != 101 {
+		t.Fatalf("nextDue(100) = %d, want 101", got)
+	}
+	w.take(101)
+	if got := w.nextDue(101); got != 103 {
+		t.Fatalf("nextDue(101) = %d, want 103", got)
+	}
+	w.take(102)
+	w.take(103)
+	if got := w.nextDue(103); got != int64(math.MaxInt64) {
+		t.Fatalf("nextDue after drain = %d, want MaxInt64", got)
+	}
 }
 
 func TestActiveSetSortedDedup(t *testing.T) {

@@ -6,7 +6,10 @@
 
 package sim
 
-import "slices"
+import (
+	"math"
+	"slices"
+)
 
 // ring is a growable circular FIFO. Unlike an append/reslice queue it keeps
 // its backing array when drained, so a queue that has reached its
@@ -63,15 +66,27 @@ func (r *ring[T]) grow() {
 	r.buf, r.head = nb, 0
 }
 
-// wheel is a fixed-horizon timing wheel: an event scheduled for absolute
-// cycle `at` lands in bucket at%len(buckets) and is drained when the clock
-// reaches it. The horizon must exceed the largest delay ever scheduled;
-// schedule panics otherwise, because a wrapped event would silently fire one
-// horizon early. Bucket slices retain capacity across reuse.
+// wheel is a timing wheel with an overflow list: an event scheduled for
+// absolute cycle `at` within the horizon lands in bucket at%len(buckets) and
+// is drained when the clock reaches it; an event at or beyond the horizon is
+// parked in the overflow list and migrated into its bucket once the clock
+// gets close enough. The horizon is therefore a fast-path size hint, not a
+// correctness bound — long delays (reconfiguration, failure injection, a
+// skip landing far in the future) degrade to a small linear scan instead of
+// panicking or silently wrapping one horizon early. schedule still panics on
+// events at or before `now`: those are bugs, not long delays. Bucket slices
+// retain capacity across reuse.
 type wheel[T any] struct {
-	buckets [][]T
-	pending int
-	peak    int
+	buckets  [][]T
+	overflow []wheelEvent[T]
+	pending  int
+	peak     int
+}
+
+// wheelEvent is an overflow entry: an event plus its absolute due cycle.
+type wheelEvent[T any] struct {
+	at int64
+	v  T
 }
 
 func newWheel[T any](horizon int64) *wheel[T] {
@@ -83,30 +98,100 @@ func newWheel[T any](horizon int64) *wheel[T] {
 
 //sim:hot
 func (w *wheel[T]) schedule(now, at int64, v T) {
-	if at <= now || at >= now+int64(len(w.buckets)) {
-		panic("sim: wheel event outside horizon")
+	if at <= now {
+		panic("sim: wheel event scheduled at or before now")
 	}
-	b := at % int64(len(w.buckets))
-	w.buckets[b] = append(w.buckets[b], v)
 	w.pending++
 	if w.pending > w.peak {
 		w.peak = w.pending
 	}
+	if at >= now+int64(len(w.buckets)) {
+		//detlint:allow hotalloc overflow list is amortised like a ring; the per-run horizon fast path never reaches it
+		w.overflow = append(w.overflow, wheelEvent[T]{at: at, v: v})
+		return
+	}
+	b := at % int64(len(w.buckets))
+	w.buckets[b] = append(w.buckets[b], v)
 }
 
 // take removes and returns the events due at cycle `now`. The returned slice
 // aliases the bucket's backing array, which is immediately reusable for
 // future cycles — callers must finish iterating (and clear element
 // references) before the wheel can revisit the same bucket, which is
-// guaranteed within one cycle's processing.
+// guaranteed within one cycle's processing. Overflow entries that have come
+// within the horizon are migrated to their buckets first (entries due
+// exactly now are appended to the returned slice), so a clock that jumps
+// forward — the calendar's skip — still observes every event at its due
+// cycle.
 //
 //sim:hot
 func (w *wheel[T]) take(now int64) []T {
+	if len(w.overflow) > 0 {
+		w.migrate(now)
+	}
 	b := now % int64(len(w.buckets))
 	evs := w.buckets[b]
 	w.buckets[b] = evs[:0]
 	w.pending -= len(evs)
 	return evs
+}
+
+// migrate moves overflow entries that are now within the horizon into their
+// buckets. Cold path: only reached while overflow entries exist, but it sits
+// on take's call graph so it keeps the zero-alloc contract (self-append
+// recycling only).
+//
+//sim:hot
+func (w *wheel[T]) migrate(now int64) {
+	h := int64(len(w.buckets))
+	keep := w.overflow[:0]
+	for _, e := range w.overflow {
+		if e.at < now {
+			panic("sim: wheel overflow event expired undelivered")
+		}
+		if e.at < now+h {
+			b := e.at % h
+			w.buckets[b] = append(w.buckets[b], e.v)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	tail := w.overflow[len(keep):]
+	for i := range tail {
+		var zero wheelEvent[T]
+		tail[i] = zero // release references held by migrated slots
+	}
+	w.overflow = keep
+}
+
+// nextDue returns the earliest cycle strictly after `now` at which a pending
+// event fires, or math.MaxInt64 when the wheel is empty. O(horizon +
+// overflow) and allocation-free; called only at skip decisions, when the
+// rest of the engine is idle.
+//
+//sim:hot
+func (w *wheel[T]) nextDue(now int64) int64 {
+	if w.pending == 0 {
+		return math.MaxInt64
+	}
+	h := int64(len(w.buckets))
+	next := int64(math.MaxInt64)
+	for b := int64(0); b < h; b++ {
+		if len(w.buckets[b]) == 0 {
+			continue
+		}
+		// The unique cycle in (now, now+h) that maps to bucket b.
+		at := now + 1 + (((b-(now+1))%h)+h)%h
+		if at < next {
+			next = at
+		}
+	}
+	for _, e := range w.overflow {
+		if e.at < next {
+			next = e.at
+		}
+	}
+	return next
 }
 
 // activeSet tracks dirty entity indices (routers, links, NICs) with O(1)

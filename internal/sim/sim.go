@@ -110,6 +110,26 @@ type Config struct {
 	// part of slimnoc's RunSpec or PointKey.
 	EngineJobs int
 
+	// CycleStep forces classic cycle-by-cycle stepping, disabling the event
+	// calendar's dead-cycle skipping. The calendar is exact-equivalent —
+	// results including EngineStats are byte-identical either way (pinned
+	// by the differential harness in diff_test.go and the golden_idle
+	// fixture) — so like EngineJobs this is engine tuning, not simulation
+	// semantics, and is deliberately NOT part of slimnoc's RunSpec or
+	// PointKey. The flag exists for differential testing and for measuring
+	// the calendar's win.
+	CycleStep bool
+
+	// MemBudgetBytes caps the engine's estimated resident footprint (SoA
+	// router state, link lanes, NICs, and the compiled route table). When
+	// nonzero, New refuses with a descriptive error before performing the
+	// heavy allocations if the estimate exceeds the budget — the guard that
+	// lets scale-* sweeps declare "this 100k-endpoint instance needs ~8 GiB"
+	// instead of OOM-killing the host. 0 means no cap. Like EngineJobs and
+	// CycleStep this never changes what a feasible run computes, so it is
+	// NOT part of slimnoc's RunSpec or PointKey.
+	MemBudgetBytes int64
+
 	WarmupCycles  int64
 	MeasureCycles int64
 	DrainCycles   int64
@@ -137,6 +157,10 @@ type Config struct {
 //     once warm: the steady-state cycle loop is zero-allocation end to end,
 //     sources included (pinned by TestSteadyStateZeroAllocsWorkloads).
 //
+// A source may additionally implement NextFirer to let the event calendar
+// skip its dead cycles; sources that draw RNG every cycle must not (see
+// NextFirer for the exact contract).
+//
 // Both emit callbacks are preallocated per Sim and safe to call any number
 // of times, including zero.
 type Source interface {
@@ -145,6 +169,21 @@ type Source interface {
 	// emit replies (e.g. read responses in trace-driven mode, or the
 	// data-carrying replies of the request-reply closed loop).
 	OnDelivered(t int64, src, dst, flits, class int, emit func(src, dst, flits, class int))
+}
+
+// NextFirer is the optional Source extension consulted by the event
+// calendar (see calendar.go). NextFire(t) returns the earliest cycle > t at
+// which the source's Generate call can be anything but a no-op; returning
+// math.MaxInt64 means "never again". The contract is strict because the
+// calendar uses the hint to NOT call Generate for the skipped cycles:
+// for every cycle u in (t, NextFire(t)), Generate(u, ...) must emit nothing
+// AND draw zero values from the RNG — otherwise skipping would fork the RNG
+// stream and break byte-identical equivalence with cycle-stepping. Sources
+// that draw RNG every cycle (Bernoulli, OnOff, modulated processes) must
+// simply not implement the interface; their dead time is recovered by the
+// calendar's drain-phase and post-generation skipping instead.
+type NextFirer interface {
+	NextFire(t int64) int64
 }
 
 // AdaptivePolicy chooses a packet's route given live network state.
@@ -356,6 +395,13 @@ type Sim struct {
 	creditWheel *wheel[creditEvent]
 	ejectWheel  *wheel[flit]
 
+	// Event calendar (calendar.go): when true (the default), the stepping
+	// loop consults skipAhead after each cycle and jumps the clock over
+	// provably dead cycles. nextFire is the traffic source's NextFirer view,
+	// nil when the source cannot declare its dead cycles.
+	calendar bool
+	nextFire NextFirer
+
 	// Packet freelist (allocated and recycled in serial phases; the
 	// central-buffer freelists are per domain).
 	pktPool []*packet
@@ -391,15 +437,17 @@ type Sim struct {
 
 // engineCounters accumulates EngineStats.
 type engineCounters struct {
-	cycles     int64
-	pktAllocs  int64
-	pktReuses  int64
-	routerSum  int64
-	routerPeak int
-	linkSum    int64
-	linkPeak   int
-	nicSum     int64
-	nicPeak    int
+	cycles        int64
+	pktAllocs     int64
+	pktReuses     int64
+	routerSum     int64
+	routerPeak    int
+	linkSum       int64
+	linkPeak      int
+	nicSum        int64
+	nicPeak       int
+	cyclesSkipped int64
+	calendarPeak  int
 }
 
 // EngineStats reports engine-internal telemetry: freelist behaviour (a
@@ -422,6 +470,16 @@ type EngineStats struct {
 	// Timing-wheel depth peaks (pending events).
 	PeakCreditEvents int `json:"peak_credit_events"`
 	PeakEjectEvents  int `json:"peak_eject_events"`
+	// CyclesSkipped counts the dead cycles the event calendar jumped over
+	// (a subset of Cycles, which counts simulated time either way); it is
+	// zero under Config.CycleStep and zero at saturation, where the active
+	// sets never empty. CalendarPeak is the largest total event backlog
+	// (credit + ejection wheel entries plus link-resident flits) observed at
+	// a skip decision. These two fields are the only EngineStats that
+	// legitimately differ between calendar and cycle-stepped runs of the
+	// same spec.
+	CyclesSkipped int64 `json:"cycles_skipped"`
+	CalendarPeak  int   `json:"calendar_peak"`
 }
 
 // EngineStats returns the engine telemetry accumulated so far.
@@ -433,6 +491,8 @@ func (s *Sim) EngineStats() EngineStats {
 		PeakActiveRouters: s.eng.routerPeak,
 		PeakActiveLinks:   s.eng.linkPeak,
 		PeakActiveNICs:    s.eng.nicPeak,
+		CyclesSkipped:     s.eng.cyclesSkipped,
+		CalendarPeak:      s.eng.calendarPeak,
 	}
 	if s.creditWheel != nil {
 		st.PeakCreditEvents = s.creditWheel.peak
@@ -511,6 +571,13 @@ func New(cfg Config) (*Sim, error) {
 		// Per-hop output ports are uint8 (packet.ports); no supported
 		// topology has a radix anywhere near this.
 		return nil, fmt.Errorf("sim: router radix %d exceeds the 255-port limit", s.stride)
+	}
+	if cfg.MemBudgetBytes > 0 {
+		if est := cfg.memEstimate(s.stride); est > cfg.MemBudgetBytes {
+			return nil, fmt.Errorf(
+				"sim: estimated engine footprint %.1f MiB for %d routers / %d nodes exceeds MemBudgetBytes = %.1f MiB; raise the budget or pick a smaller instance",
+				float64(est)/(1<<20), nr, s.net.N(), float64(cfg.MemBudgetBytes)/(1<<20))
+		}
 	}
 	np := nr * s.stride
 	nv := np * cfg.VCs
@@ -631,6 +698,12 @@ func New(cfg Config) (*Sim, error) {
 	}
 	// Domain decomposition: contiguous router-index ranges (see domain.go).
 	s.buildDomains(normalizeJobs(cfg.EngineJobs, nr))
+	// Event calendar: on unless CycleStep forces classic stepping. The
+	// source's next-fire hint is optional (see NextFirer).
+	s.calendar = !cfg.CycleStep
+	if nf, ok := cfg.Traffic.(NextFirer); ok {
+		s.nextFire = nf
+	}
 	// Engine machinery.
 	s.activeNICs = newActiveSet(s.net.N())
 	s.creditWheel = newWheel[creditEvent](maxLat + 1)
@@ -759,6 +832,16 @@ func (s *Sim) RunContext(ctx context.Context, every int64, onProgress func(Progr
 			}
 		}
 		s.step()
+		if s.calendar {
+			// Jump over provably dead cycles, but never past the next poll
+			// boundary: cancellation latency and progress cadence stay
+			// exactly what cycle-stepping delivers (see calendar.go).
+			limit := (s.now/every + 1) * every
+			if limit > total {
+				limit = total
+			}
+			s.skipAhead(limit)
+		}
 	}
 	stop := s.now
 	// Account for ejections still completing their final router traversal.

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
 	"repro/internal/sim"
@@ -83,6 +84,25 @@ type Replay struct {
 }
 
 var _ sim.Source = (*Replay)(nil)
+var _ sim.NextFirer = (*Replay)(nil)
+
+// NextFire implements sim.NextFirer: the recorded stream knows the exact
+// cycle of its next injection and Generate draws no RNG, so the event
+// calendar may skip the gaps of a sparse trace. A looping trace that has
+// just exhausted must fire next cycle — the restart offset is pinned by the
+// next Generate call and skipping it would shift every replayed cycle.
+func (r *Replay) NextFire(t int64) int64 {
+	if r.pos >= len(r.Events) {
+		if !r.Loop || len(r.Events) == 0 {
+			return math.MaxInt64
+		}
+		return t + 1
+	}
+	if at := r.Events[r.pos].Cycle + r.offset; at > t+1 {
+		return at
+	}
+	return t + 1
+}
 
 // Generate implements sim.Source.
 func (r *Replay) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int)) {

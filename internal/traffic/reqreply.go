@@ -7,6 +7,7 @@
 package traffic
 
 import (
+	"math"
 	"math/rand"
 
 	"repro/internal/sim"
@@ -51,9 +52,11 @@ type ReqReply struct {
 	Requests, Replies int64
 
 	outstanding []int // per-node in-flight request count
+	totalOut    int   // sum of outstanding (next-fire signal)
 }
 
 var _ sim.Source = (*ReqReply)(nil)
+var _ sim.NextFirer = (*ReqReply)(nil)
 
 // Generate implements sim.Source: top every node's window up with fresh
 // requests. On the first cycle this emits Window requests per node (the
@@ -70,9 +73,25 @@ func (s *ReqReply) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, 
 		for s.outstanding[node] < s.Window {
 			emit(node, s.Pattern.Dest(rng, node), s.ReqFlits, ClassRequest)
 			s.outstanding[node]++
+			s.totalOut++
 			s.Requests++
 		}
 	}
+}
+
+// NextFire implements sim.NextFirer. Once every node's window is full,
+// Generate cannot emit (and draws zero RNG — the per-node loop bodies never
+// run) until a reply returns credit, and credit only moves inside a stepped
+// cycle — so the window-stalled state persists across any skipped range and
+// the calendar may jump straight to the next engine event. With any window
+// slot open the source fires next cycle.
+//
+//sim:hot
+func (s *ReqReply) NextFire(t int64) int64 {
+	if s.outstanding != nil && s.totalOut >= s.N*s.Window {
+		return math.MaxInt64 // stalled until a reply lands
+	}
+	return t + 1
 }
 
 // OnDelivered implements sim.Source: a delivered request triggers the reply
@@ -89,6 +108,7 @@ func (s *ReqReply) OnDelivered(t int64, src, dst, flits, class int, emit func(sr
 	case ClassReply:
 		if s.outstanding != nil && dst >= 0 && dst < len(s.outstanding) && s.outstanding[dst] > 0 {
 			s.outstanding[dst]--
+			s.totalOut--
 		}
 	}
 }

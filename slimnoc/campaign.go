@@ -158,6 +158,7 @@ func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) 
 type Campaign struct {
 	jobs       int
 	engineJobs int
+	memBudget  int64
 	sinks      []Sink
 	onPoint    func(PointResult)
 	pointOpts  func(i int, spec RunSpec) []Option
@@ -191,6 +192,17 @@ func WithPointEngineJobs(n int) CampaignOption {
 		}
 		c.engineJobs = n
 	}
+}
+
+// WithPointMemBudget caps every point's estimated engine footprint at bytes
+// (the campaign form of the Runner's WithMemBudget; 0 = no cap). Oversized
+// points fail fast with a sizing error in their PointResult instead of
+// allocating — including the campaign's shared route-table compile, which is
+// skipped when the table alone would bust the budget. The budget never
+// alters the results of runs that fit, so like WithPointEngineJobs it does
+// not bypass an attached result store.
+func WithPointMemBudget(bytes int64) CampaignOption {
+	return func(c *Campaign) { c.memBudget = bytes }
 }
 
 // WithSink attaches a result sink; repeatable. Sinks receive every executed
@@ -420,7 +432,11 @@ func (c *Campaign) runPoint(ctx context.Context, i int, spec RunSpec, cache *net
 		// shared read-only by every point using it. Compile errors are left
 		// for Runner.Run to rediscover and report; adaptive algorithms
 		// route per packet and have no compiled form.
-		if re, ok := routings.lookup(spec.Routing.Algorithm); ok && !re.Adaptive {
+		// The eager compile happens before sim.New's budget check runs, so
+		// when the table alone would bust a point budget, skip it here and
+		// let sim.New report the sizing error without the allocation.
+		if re, ok := routings.lookup(spec.Routing.Algorithm); ok && !re.Adaptive &&
+			!(c.memBudget > 0 && int64(net.Nr)*int64(net.Nr)*12 > c.memBudget) {
 			if tab, terr := cache.table(spec.Network, spec.Routing.Algorithm, spec.Routing.VCs); terr == nil {
 				cachedTab = tab
 				opts = append(opts, WithRouteTable(tab))
@@ -429,6 +445,9 @@ func (c *Campaign) runPoint(ctx context.Context, i int, spec RunSpec, cache *net
 	}
 	if c.engineJobs > 1 {
 		opts = append(opts, WithEngineJobs(c.engineJobs))
+	}
+	if c.memBudget > 0 {
+		opts = append(opts, WithMemBudget(c.memBudget))
 	}
 	// A network the cache cannot build may still come from the point
 	// options (WithNetwork); defer the error until after they apply.

@@ -35,6 +35,15 @@ var presetTable = struct {
 	"t2d54":  {Topology: "torus", X: 6, Y: 3, Conc: 3},
 	"fbf54":  {Topology: "flatfly", X: 6, Y: 3, Conc: 3},
 	"pfbf54": {Topology: "pflatfly", PartsX: 2, PartsY: 1, X: 3, Y: 3, Conc: 3},
+	// Scale-out baselines for the scale-* family: N = 10080 siblings of the
+	// dynamic sn_subgr_10000 (q=25, p=8), and N = 100352 siblings of
+	// sn_subgr_99856 (q=79) for the hundred-thousand-endpoint regime.
+	"cm10k":   {Topology: "mesh", X: 35, Y: 36, Conc: 8},
+	"t2d10k":  {Topology: "torus", X: 35, Y: 36, Conc: 8},
+	"fbf10k":  {Topology: "flatfly", X: 35, Y: 36, Conc: 8},
+	"cm100k":  {Topology: "mesh", X: 112, Y: 112, Conc: 8},
+	"t2d100k": {Topology: "torus", X: 112, Y: 112, Conc: 8},
+	"fbf100k": {Topology: "flatfly", X: 112, Y: 112, Conc: 8},
 }}
 
 // RegisterPreset adds (or replaces) a named network configuration.

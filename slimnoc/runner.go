@@ -69,6 +69,8 @@ type Runner struct {
 	progress      func(Progress)
 	progressEvery int64
 	engineJobs    int
+	cycleStep     bool
+	memBudget     int64
 }
 
 // Option customises a Runner beyond what the declarative spec expresses.
@@ -134,6 +136,26 @@ func WithEngineJobs(n int) Option {
 		n = runtime.NumCPU()
 	}
 	return func(r *Runner) { r.engineJobs = n }
+}
+
+// WithCycleStep forces the classic cycle-by-cycle stepping loop, disabling
+// the event calendar's dead-cycle skipping. Results are byte-identical with
+// or without it — the calendar is exact-equivalent by contract — so like
+// WithEngineJobs this is an execution strategy, not a model parameter, and
+// stays out of the spec's canonical bytes and PointKey. Useful for
+// differential debugging and for benchmarking the calendar's speedup.
+func WithCycleStep() Option {
+	return func(r *Runner) { r.cycleStep = true }
+}
+
+// WithMemBudget caps the engine's estimated steady-state memory footprint at
+// bytes (0 = no cap). The estimate covers the per-node, per-router, per-VC
+// and per-edge state plus the compiled route table; a spec whose instance
+// exceeds the budget fails fast in Run with a sizing error instead of
+// allocating. The budget never alters results — runs that fit behave
+// identically at any budget — so it is a Runner option, not a RunSpec field.
+func WithMemBudget(bytes int64) Option {
+	return func(r *Runner) { r.memBudget = bytes }
 }
 
 // NewRunner prepares a Runner for the spec.
@@ -261,23 +283,25 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	}
 
 	cfg := sim.Config{
-		Net:           net,
-		Routing:       pb,
-		Table:         table,
-		VCs:           vcs,
-		Scheme:        sc.Scheme,
-		EdgeBufCap:    sc.BufCap,
-		CBCap:         sc.CBCap,
-		H:             h,
-		PacketFlits:   spec.Traffic.PacketFlits,
-		InjQueueCap:   spec.Sim.InjQueueCap,
-		Seed:          spec.Sim.Seed,
-		Traffic:       src,
-		Adaptive:      policy,
-		WarmupCycles:  spec.Sim.WarmupCycles,
-		MeasureCycles: spec.Sim.MeasureCycles,
-		DrainCycles:   spec.Sim.DrainCycles,
-		EngineJobs:    r.engineJobs,
+		Net:            net,
+		Routing:        pb,
+		Table:          table,
+		VCs:            vcs,
+		Scheme:         sc.Scheme,
+		EdgeBufCap:     sc.BufCap,
+		CBCap:          sc.CBCap,
+		H:              h,
+		PacketFlits:    spec.Traffic.PacketFlits,
+		InjQueueCap:    spec.Sim.InjQueueCap,
+		Seed:           spec.Sim.Seed,
+		Traffic:        src,
+		Adaptive:       policy,
+		WarmupCycles:   spec.Sim.WarmupCycles,
+		MeasureCycles:  spec.Sim.MeasureCycles,
+		DrainCycles:    spec.Sim.DrainCycles,
+		EngineJobs:     r.engineJobs,
+		CycleStep:      r.cycleStep,
+		MemBudgetBytes: r.memBudget,
 	}
 	s, err := sim.New(cfg)
 	if err != nil {
