@@ -158,20 +158,29 @@ func DefaultConfig() *Config {
 		LabelFields: []string{"Name"},
 		// The cross-domain surface of the parallel engine: link handshake
 		// and occupancy state (written by exactly one side per phase), the
-		// shared timing wheels, and the Sim-level counters (updated only
-		// through per-domain staging merged serially).
+		// input-stage readiness mirrors filled at link delivery, the
+		// shared timing wheels, the Sim-level counters (updated only
+		// through per-domain staging merged serially), and the per-domain
+		// calendar cache (own-domain fields recomputed locally; foreign
+		// domains are dirtied only through staged touch marks).
 		DomainSharedFields: []string{
 			"repro/internal/sim.link.pending",
-			"repro/internal/sim.link.perVCInFly",
+			"repro/internal/sim.link.nextArrive",
 			"repro/internal/sim.link.occupancy",
+			"repro/internal/sim.Sim.occIn",
 			"repro/internal/sim.wheel.buckets",
 			"repro/internal/sim.wheel.pending",
 			"repro/internal/sim.wheel.peak",
 			"repro/internal/sim.Sim.forwardedFlits",
 			"repro/internal/sim.Sim.bypassFlits",
 			"repro/internal/sim.Sim.bufferedFlits",
+			"repro/internal/sim.domain.calDirty",
+			"repro/internal/sim.domain.calArrive",
+			"repro/internal/sim.domain.calPending",
+			"repro/internal/sim.domain.touched",
+			"repro/internal/sim.domain.touchedList",
 		},
-		HotPackages: []string{"repro/internal/sim", "repro/internal/traffic"},
+		HotPackages: []string{"repro/internal/sim", "repro/internal/traffic", "repro/internal/routing"},
 	}
 }
 

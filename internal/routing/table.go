@@ -35,6 +35,38 @@ type RouteTable struct {
 	// until then. Precomputing the ports moves the simulator's per-flit
 	// adjacency binary search out of the switch-allocation hot path.
 	ports []uint8
+
+	// nextw holds the per-hop next-hop words (NextWord encoding: output
+	// port and the port*vcs+vc slot offset in one uint32), aligned with
+	// routers (same off indexing, plen entries per pair) and terminated by
+	// NextEject at each path's final hop. Filled by CompilePorts. The
+	// simulator's switch allocation arbitrates on these words alone — one
+	// dense load per probe, no packet or table access until a flit moves.
+	nextw []uint32
+
+	// Compact mode (see compact.go): next-hop-only storage, one output-port
+	// byte per (src,dst) pair, with the network adjacency borrowed for the
+	// reconstruction walks. Mutually exclusive with the interned storage
+	// above: a compact table has no off/voff/plen arrays at all — that is
+	// the point — and serves routes via AppendRoute instead of views.
+	cnh  []uint8 // [src*nr+dst] output port at src toward dst; cnhNone if none
+	cadj [][]int // borrowed adjacency (sorted rows), for next-hop resolution
+}
+
+// NextEject is the next-hop word of a path's final hop: the router visit is
+// an ejection, not a traversal. Real encodings never collide with it (or
+// with any sentinel down to NextEject-255: ports are at most 254 and slots
+// at most 254*63+62, so a real word is at most 0x00fe3efe).
+const NextEject = ^uint32(0)
+
+// NextWord encodes one hop's switch-allocation decision: the output port in
+// bits 16..23 (for output-conflict masking) and the port*vcs+vc slot offset
+// in bits 0..15 (the per-VC output index relative to the router's block in
+// the simulator's flattened state).
+//
+//sim:hot
+func NextWord(port, vc, vcs int) uint32 {
+	return uint32(port)<<16 | uint32(port*vcs+vc)
 }
 
 func newTable(nr int, pb PathBuilder) *RouteTable {
@@ -102,6 +134,9 @@ func (t *RouteTable) fill(src, dst int) error {
 // the spot; compile errors panic there, since the eager path has already
 // validated the builder in every shared configuration.
 func (t *RouteTable) Route(src, dst int) ([]int32, []uint8) {
+	if t.cnh != nil {
+		panic("routing: Route on a compact table (reconstruct with AppendRoute)")
+	}
 	pair := src*t.nr + dst
 	if t.off[pair] < 0 {
 		if t.pb == nil {
@@ -127,6 +162,9 @@ func (t *RouteTable) Route(src, dst int) ([]int32, []uint8) {
 // must be the network the table was compiled for; ports are uint8, so router
 // radixes beyond 255 are rejected (no supported topology comes close).
 func (t *RouteTable) CompilePorts(adj [][]int) error {
+	if t.cnh != nil {
+		return fmt.Errorf("routing: CompilePorts on a compact table (its ports come from AppendRoute)")
+	}
 	if t.pb != nil {
 		return fmt.Errorf("routing: CompilePorts requires a frozen table (use Compile, not NewMemoTable)")
 	}
@@ -139,6 +177,7 @@ func (t *RouteTable) CompilePorts(adj [][]int) error {
 		}
 	}
 	ports := make([]uint8, len(t.hopVCs))
+	nextw := make([]uint32, len(t.routers))
 	for pair, o := range t.off {
 		if o < 0 {
 			continue
@@ -152,9 +191,14 @@ func (t *RouteTable) CompilePorts(adj [][]int) error {
 					pair/t.nr, pair%t.nr, path[i], path[i+1])
 			}
 			ports[vo+i] = uint8(pos)
+			nextw[int(o)+i] = NextWord(pos, int(t.hopVCs[vo+i]), t.vcs)
+		}
+		if n > 0 {
+			nextw[int(o)+n-1] = NextEject
 		}
 	}
 	t.ports = ports
+	t.nextw = nextw
 	return nil
 }
 
@@ -176,9 +220,9 @@ func searchAdj(adj []int, nxt int) (int, bool) {
 	return lo, true
 }
 
-// HasPorts reports whether CompilePorts has run, i.e. whether Ports views
-// are available.
-func (t *RouteTable) HasPorts() bool { return t.ports != nil }
+// HasPorts reports whether per-hop output ports are available — CompilePorts
+// has run (dense tables) or the table is compact (ports ride in AppendRoute).
+func (t *RouteTable) HasPorts() bool { return t.ports != nil || t.cnh != nil }
 
 // Ports returns the per-hop output ports for src->dst (len(path)-1 entries,
 // aligned with the VC view from Route) as a borrowed read-only view, or nil
@@ -196,6 +240,19 @@ func (t *RouteTable) Ports(src, dst int) []uint8 {
 	return t.ports[vo : vo+hops : vo+hops]
 }
 
+// NextWords returns the per-hop next-hop words for src->dst (len(path)
+// entries, NextEject-terminated) as a borrowed read-only view, or nil if
+// CompilePorts has not run. Pairs are never compiled here — callers pair it
+// with Route, which does.
+func (t *RouteTable) NextWords(src, dst int) []uint32 {
+	if t.nextw == nil {
+		return nil
+	}
+	pair := src*t.nr + dst
+	o, n := t.off[pair], t.plen[pair]
+	return t.nextw[o : o+n : o+n]
+}
+
 // NumVCs returns the VC count of the compiled builder.
 func (t *RouteTable) NumVCs() int { return t.vcs }
 
@@ -208,12 +265,16 @@ func (t *RouteTable) Nr() int { return t.nr }
 // compiled table against a run's budget without reflection.
 func (t *RouteTable) MemBytes() int64 {
 	return int64(len(t.routers))*4 + int64(len(t.hopVCs)) + int64(len(t.ports)) +
+		int64(len(t.nextw))*4 + int64(len(t.cnh)) +
 		int64(len(t.off))*4 + int64(len(t.voff))*4 + int64(len(t.plen))*4
 }
 
 // Pairs returns the number of compiled (src,dst) pairs (all nr^2 for an
 // eager table).
 func (t *RouteTable) Pairs() int {
+	if t.cnh != nil {
+		return t.nr * t.nr // compact tables cover every pair by construction
+	}
 	n := 0
 	for _, o := range t.off {
 		if o >= 0 {
@@ -227,6 +288,9 @@ func (t *RouteTable) Pairs() int {
 // the allocation-free counterpart of Paths.MinPath for adaptive policies
 // reusing table candidates.
 func (t *RouteTable) AppendPath(buf []int, src, dst int) []int {
+	if t.cnh != nil {
+		return t.appendPathOnly(buf, src, dst)
+	}
 	path, _ := t.Route(src, dst)
 	for _, r := range path {
 		buf = append(buf, int(r))
@@ -237,6 +301,15 @@ func (t *RouteTable) AppendPath(buf []int, src, dst int) []int {
 // AppendPathTail appends the src->dst path without its first router (used to
 // concatenate Valiant segments without duplicating the intermediate).
 func (t *RouteTable) AppendPathTail(buf []int, src, dst int) []int {
+	if t.cnh != nil {
+		n := len(buf)
+		buf = t.appendPathOnly(buf, src, dst)
+		if len(buf) > n {
+			copy(buf[n:], buf[n+1:])
+			buf = buf[:len(buf)-1]
+		}
+		return buf
+	}
 	path, _ := t.Route(src, dst)
 	for _, r := range path[1:] {
 		buf = append(buf, int(r))

@@ -17,7 +17,19 @@
 // taken on the main goroutine between cycles, where the per-cycle barrier
 // already holds). The only observable additions are the CyclesSkipped /
 // CalendarPeak telemetry fields, which are zero under Config.CycleStep.
+//
+// Each domain keeps its own calendar horizon (domain.calArrive/calPending):
+// the earliest front-flit arrival over its active links and their pending
+// backlog, recomputed only when the domain's link population or lane fronts
+// changed since the last skip decision (domain.calDirty, maintained by
+// stepLinksDomain, sendFlit and the merge). A busy region therefore no
+// longer forces skipAhead to rescan the idle regions' lanes at every
+// quiet-period transition: the skip decision is O(domains + wheel horizon)
+// plus the dirty domains' own links — the hotspot-with-idle-background
+// specs in diff_test.go pin the equivalence.
 package sim
+
+import "math"
 
 // skipAhead jumps the clock over cycles that provably change nothing. limit
 // is exclusive-of-skipping: the first cycle the caller must step normally
@@ -67,23 +79,19 @@ func (s *Sim) skipAhead(limit int64) {
 	}
 	// Link deliveries: each active lane's front flit bounds that wire's next
 	// arrival (lanes drain in FIFO order, so nothing behind the front can
-	// deliver earlier). backlog doubles as the calendar-depth sample.
+	// deliver earlier). Each domain's horizon is cached and recomputed only
+	// when dirty. backlog doubles as the calendar-depth sample.
 	backlog := s.creditWheel.pending + s.ejectWheel.pending
 	al := 0
 	for di := range s.doms {
 		d := &s.doms[di]
 		al += len(d.linkList)
-		for _, li := range d.linkList {
-			l := &s.links[li]
-			backlog += l.pending
-			for vc := range l.lanes {
-				if l.lanes[vc].len() == 0 {
-					continue
-				}
-				if a := l.lanes[vc].front().arrive; a < wake {
-					wake = a
-				}
-			}
+		if d.calDirty {
+			s.refreshDomainHorizon(d)
+		}
+		backlog += d.calPending
+		if d.calArrive < wake {
+			wake = d.calArrive
 		}
 	}
 	if wake <= s.now+1 {
@@ -103,6 +111,32 @@ func (s *Sim) skipAhead(limit int64) {
 	s.now = wake - 1
 }
 
+// refreshDomainHorizon rebuilds one domain's cached calendar view: the
+// minimum front-flit arrival over its active links (MaxInt64 when none) and
+// their total pending flits. Only called from skip decisions on the main
+// goroutine, and only for domains whose link state changed since the last
+// decision.
+//
+//sim:hot
+func (s *Sim) refreshDomainHorizon(d *domain) {
+	arrive := int64(math.MaxInt64)
+	pend := 0
+	for _, li := range d.linkList {
+		l := &s.links[li]
+		pend += l.pending
+		for vc := range l.lanes {
+			if l.lanes[vc].len() == 0 {
+				continue
+			}
+			if a := l.lanes[vc].front().arrive; a < arrive {
+				arrive = a
+			}
+		}
+	}
+	d.calArrive, d.calPending = arrive, pend
+	d.calDirty = false
+}
+
 // memEstimate predicts the engine's resident footprint in bytes for the
 // MemBudgetBytes guard: the SoA router arrays, per-link lanes, NICs, and the
 // compiled route table (measured exactly when supplied, floor-estimated when
@@ -118,15 +152,16 @@ func (c *Config) memEstimate(stride int) int64 {
 	vcs := int64(c.VCs)
 	np := nr * int64(stride)
 	nv := np * vcs
-	const ringBytes = 40              // ring[T]: slice header + head + count
-	b := np * (3*4 + 2*8)             // outLink/inLink/revPort + outUsedAt/inUsedAt
-	b += nv * (ringBytes + 4 + 8 + 4) // inQ + inCap + outOwner + credits
+	const ringBytes = 40                                  // ring[T]: slice header + head + count
+	const flitBytes = 16                                  // flit: pointer + idx + hop + next
+	b := np * (3 * 4)                                     // outLink/inLink/revPort
+	b += nv * (ringBytes + 4 + 8 + 4 + 4 + 4 + flitBytes) // inQ + inCap + outOwner + space + inLen + inNext + inFront
 	if c.Scheme == CentralBuffer {
 		b += nv * ringBytes // cbq
 	}
-	b += edges * (96 + vcs*(ringBytes+8)) // link structs + lanes + perVCInFly
-	b += n * (2*ringBytes + 16 + 8)       // nics (srcQ+injQ+ints) + ejUsedAt
-	b += nr * (4 + 4 + 4 + 4 + 1)         // kp/cbFree/work/domOf/routerIn
+	b += edges * (88 + vcs*ringBytes) // link structs + lanes
+	b += n * (2*ringBytes + 16 + 8)   // nics (srcQ+injQ+ints) + ejUsedAt
+	b += nr * (4 + 4 + 4 + 4 + 1)     // kp/cbFree/work/domOf/routerIn
 	if c.Adaptive == nil {
 		if c.Table != nil {
 			b += c.Table.MemBytes()

@@ -24,12 +24,42 @@ type diffSpec struct {
 	scheme   sim.BufferScheme
 	h        int
 	vcs      int
-	shape    int // 0 bernoulli, 1 onoff, 2 reqreply, 3 ugal-adaptive
+	shape    int // 0 bernoulli, 1 onoff, 2 reqreply, 3 ugal-adaptive, 4 hot-region
 	rate     float64
 	burstLen float64
 	duty     float64
 	window   int
+	hotRate  float64
 	seed     int64
+}
+
+// hotRegionSource drives one busy region while the rest of the network
+// stays completely idle: the first `hot` nodes exchange Bernoulli traffic
+// among themselves, every other node never injects. Under the domain-
+// parallel engine most domains therefore see no work at all, which is
+// exactly the regime the per-domain calendar fast-forwards — and exactly
+// where a skipping bug would silently desynchronize domains.
+type hotRegionSource struct {
+	n, hot, flits int
+	rate          float64
+}
+
+func (h *hotRegionSource) Generate(t int64, rng *rand.Rand, emit func(src, dst, flits, class int)) {
+	prob := h.rate / float64(h.flits)
+	for node := 0; node < h.hot; node++ {
+		if rng.Float64() < prob {
+			for {
+				d := rng.Intn(h.hot)
+				if d != node {
+					emit(node, d, h.flits, 0)
+					break
+				}
+			}
+		}
+	}
+}
+
+func (h *hotRegionSource) OnDelivered(t int64, src, dst, flits, class int, emit func(src, dst, flits, class int)) {
 }
 
 // drawDiffSpec samples one spec from the generator.
@@ -40,7 +70,7 @@ func drawDiffSpec(r *rand.Rand) diffSpec {
 		scheme: []sim.BufferScheme{sim.EdgeBuffers, sim.CentralBuffer, sim.ElasticLinks}[r.Intn(3)],
 		h:      []int{1, 9}[r.Intn(2)],
 		vcs:    2,
-		shape:  r.Intn(4),
+		shape:  r.Intn(5),
 		rate:   []float64{0.004, 0.02, 0.06, 0.24}[r.Intn(4)],
 		seed:   int64(r.Intn(1 << 16)),
 	}
@@ -50,6 +80,7 @@ func drawDiffSpec(r *rand.Rand) diffSpec {
 	sp.burstLen = []float64{8, 32}[r.Intn(2)]
 	sp.duty = []float64{0.05, 0.25}[r.Intn(2)]
 	sp.window = 1 + r.Intn(3)
+	sp.hotRate = []float64{0.24, 0.40}[r.Intn(2)]
 	if sp.shape == 3 {
 		sp.vcs = 4 // UGAL's VC discipline needs the extra classes
 	}
@@ -81,6 +112,16 @@ func runDiffSpec(t testing.TB, sp diffSpec, jobs int, cycleStep bool) (sim.Resul
 	case 2:
 		src = &traffic.ReqReply{N: n, Window: sp.window, ReqFlits: 2,
 			ReplyFlits: 6, Pattern: traffic.Uniform{N: n}}
+	case 4:
+		// One busy region, rest idle: roughly the first eighth of the
+		// nodes exchange traffic among themselves at a saturating rate
+		// while every other node stays silent, so most engine domains
+		// are pure skip-ahead territory.
+		hot := n / 8
+		if hot < 4 {
+			hot = 4
+		}
+		src = &hotRegionSource{n: n, hot: hot, flits: 6, rate: sp.hotRate}
 	default: // bernoulli open loop (shapes 0 and 3)
 		src = &traffic.Synthetic{N: n, Rate: sp.rate, PacketFlits: 6,
 			Pattern: traffic.Uniform{N: n}}
@@ -152,13 +193,29 @@ func TestCalendarDifferential(t *testing.T) {
 		totalSkipped += assertDiffEquivalence(t, sp)
 		t.Logf("corpus[%d] %s: ok", i, diffName(sp))
 	}
+	// Pinned hotspot specs (independent of the random draws): one busy
+	// region, rest idle, across all three buffer schemes — the shape where
+	// the per-domain calendar must fast-forward idle domains of a busy
+	// network without drifting from cycle-stepping.
+	pinned := []diffSpec{
+		{q: 5, p: 4, scheme: sim.EdgeBuffers, h: 1, vcs: 2, shape: 4, hotRate: 0.40, seed: 501},
+		{q: 5, p: 4, scheme: sim.CentralBuffer, h: 9, vcs: 2, shape: 4, hotRate: 0.24, seed: 502},
+		{q: 3, p: 3, scheme: sim.ElasticLinks, h: 1, vcs: 2, shape: 4, hotRate: 0.40, seed: 503},
+	}
+	if testing.Short() {
+		pinned = pinned[:1]
+	}
+	for i, sp := range pinned {
+		totalSkipped += assertDiffEquivalence(t, sp)
+		t.Logf("pinned[%d] %s: ok", i, diffName(sp))
+	}
 	if totalSkipped == 0 {
 		t.Error("no corpus spec skipped a single cycle; the corpus no longer exercises the calendar")
 	}
 }
 
 func diffName(sp diffSpec) string {
-	tag := []string{"bern", "onoff", "reqreply", "ugal"}[sp.shape]
+	tag := []string{"bern", "onoff", "reqreply", "ugal", "hotregion"}[sp.shape]
 	return []string{"eb", "cbr", "el"}[sp.scheme] + "_" + tag
 }
 

@@ -8,12 +8,12 @@
 //   - SoA router state of routers in [rlo, rhi), the NIC injection queues of
 //     their attached nodes, and the per-node ejection budget of those nodes
 //     (a node ejects only at its own router);
-//   - the receiver side of links into the domain (lane pops, pending,
-//     perVCInFly) during the link phase;
+//   - the receiver side of links into the domain (lane pops, pending, the
+//     sender's space readiness words) during the link phase;
 //   - the sender side of links out of the domain (lane pushes, pending,
-//     perVCInFly, occupancy increments) during the router phase — a directed
-//     link has exactly one sending router, and the phase barrier separates
-//     sender-phase writes from receiver-phase writes;
+//     space decrements, occupancy increments) during the router phase — a
+//     directed link has exactly one sending router, and the phase barrier
+//     separates sender-phase writes from receiver-phase writes;
 //
 // or staged in per-domain buffers (credit-wheel events, delayed ejections,
 // occupancy decrements, cross-domain link wakes, counter deltas) and
@@ -29,6 +29,7 @@
 package sim
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,7 @@ type stagedCredit struct {
 
 // domain is one contiguous router-index range stepped as a unit.
 type domain struct {
+	di       int32 // own index in Sim.doms
 	rlo, rhi int32 // router range [rlo, rhi)
 	// Active lists owned by this domain: routers in the range with pending
 	// work, links whose receiving router lies in the range. The membership
@@ -51,15 +53,32 @@ type domain struct {
 	// within a phase, so the shared arrays need no synchronisation.
 	routerList []int32
 	linkList   []int32
+	// outMask is the per-cycle output-conflict bitmask scratch: while
+	// stepRouter visits a router, bit p of outMask[p/64] means output port p
+	// was claimed this cycle. One router is stepped at a time per domain, so
+	// a single stride-wide mask per domain replaces the epoch-marked
+	// outUsedAt/inUsedAt arrays (and their per-probe int64 loads).
+	outMask []uint64
 	// cbPool is the domain-local central-buffer freelist (a cbPacket lives
 	// and dies at one router, so pools never cross domains).
 	cbPool []*cbPacket
 	// Staging of effects that target shared engine state — appended during
-	// the parallel phases, replayed serially by mergeDomains.
+	// the parallel phases, replayed serially by mergeDomains. The 1-domain
+	// engine bypasses these (Sim.single) and applies effects directly.
 	credits  []stagedCredit // credit-wheel schedules (upstream may be foreign)
 	ejects   []flit         // delayed ejections (order observable)
 	occDecs  []int32        // link occupancy decrements (sender may be foreign)
 	linkActs []int32        // link wakes (receiver may be foreign)
+	// Per-domain calendar cache (see calendar.go): the earliest front-flit
+	// arrival over the domain's active links and their total pending-flit
+	// backlog, recomputed by skipAhead only when calDirty. A domain dirties
+	// itself on its own link activity; pushes onto another domain's links
+	// are staged in touched/touchedList and merged like the other effects.
+	calDirty    bool
+	calArrive   int64
+	calPending  int
+	touched     []bool  // [domain] staged dirty marks, cleared at merge
+	touchedList []int32 // domains marked in touched, in first-touch order
 	// Counter deltas folded into the Sim totals at merge.
 	forwarded int64
 	bypass    int64
@@ -85,13 +104,23 @@ func (s *Sim) buildDomains(nd int) {
 	nr := s.net.Nr
 	s.doms = make([]domain, nd)
 	s.domOf = make([]int32, nr)
+	maskW := (s.stride + 63) / 64
+	if maskW < 1 {
+		maskW = 1
+	}
 	for di := 0; di < nd; di++ {
 		lo, hi := di*nr/nd, (di+1)*nr/nd
-		s.doms[di].rlo, s.doms[di].rhi = int32(lo), int32(hi)
+		d := &s.doms[di]
+		d.di = int32(di)
+		d.rlo, d.rhi = int32(lo), int32(hi)
+		d.outMask = make([]uint64, maskW)
+		d.touched = make([]bool, nd)
+		d.calDirty = true
 		for r := lo; r < hi; r++ {
 			s.domOf[r] = int32(di)
 		}
 	}
+	s.single = nd == 1
 	s.linkDom = make([]int32, len(s.links))
 	for lid := range s.links {
 		s.linkDom[lid] = s.domOf[s.links[lid].to]
@@ -112,6 +141,13 @@ func (s *Sim) buildDomains(nd int) {
 //sim:hot
 //sim:domain
 func (s *Sim) stepLinksDomain(d *domain) {
+	if len(d.linkList) == 0 {
+		return
+	}
+	// Any lane pop or list retirement changes this domain's calendar horizon;
+	// one flag set per phase is cheaper than tracking which one did.
+	//detlint:allow sharedread own-domain calendar cache: d is this goroutine's domain, no other domain reads or writes it during the phase
+	d.calDirty = true
 	keep := d.linkList[:0]
 	for _, li := range d.linkList {
 		if s.stepLink(int(li)) {
@@ -132,28 +168,57 @@ func (s *Sim) stepLinksDomain(d *domain) {
 //sim:domain
 func (s *Sim) stepLink(li int) bool {
 	l := &s.links[li]
+	now := s.now
+	if l.nextArrive > now {
+		// Every flit on the wire is still in flight: nothing to deliver, the
+		// per-lane peeks would all fail. (The classic scan would find the
+		// same, so skipping it is an iteration shortcut, not a behaviour
+		// change.)
+		return l.pending > 0
+	}
 	to := l.to
 	vb := (to*s.stride + l.toPort) * s.vcs
+	elastic := s.scheme != EdgeBuffers
+	inLen, inCap := s.inLen, s.inCap
+	na := int64(math.MaxInt64)
 	for vc := range l.lanes {
 		lane := &l.lanes[vc]
 		for lane.len() > 0 {
 			lf := lane.front()
-			if lf.arrive > s.now {
+			if lf.arrive > now {
+				if lf.arrive < na {
+					na = lf.arrive
+				}
+				break
+			}
+			if elastic && inLen[vb+vc] >= inCap[vb+vc] {
+				na = now + 1 // elastic backpressure: flit waits in the pipeline
 				break
 			}
 			q := &s.inQ[vb+vc]
-			if s.scheme != EdgeBuffers && int32(q.len()) >= s.inCap[vb+vc] {
-				break // elastic backpressure: flit waits in the pipeline
-			}
 			q.push(lf.f)
+			if inLen[vb+vc] == 0 {
+				s.inFront[vb+vc] = lf.f
+				s.inNext[vb+vc] = lf.f.next
+				if s.occIn != nil {
+					//detlint:allow sharedread receiver-exclusive: one receiving router per directed link, the occupancy bit belongs to the receiving router
+					s.occIn[to] |= 1 << uint(l.toPort*s.vcs+vc)
+				}
+			}
+			inLen[vb+vc]++
 			lane.pop()
 			//detlint:allow sharedread receiver-exclusive: one receiving router per directed link, sender writes only after the phase barrier
 			l.pending--
-			//detlint:allow sharedread receiver-exclusive: one receiving router per directed link, sender writes only after the phase barrier
-			l.perVCInFly[vc]--
+			if elastic {
+				// Return the pipeline slot to the sender's readiness word.
+				//detlint:allow sharedread receiver-exclusive: one receiving router per directed link, the sending domain reads space only after the phase barrier
+				s.space[int(l.sendVB)+vc]++
+			}
 			s.routerGainsFlit(to)
 		}
 	}
+	//detlint:allow sharedread receiver-exclusive: one receiving router per directed link, the sender's refresh happens in the barrier-separated router phase
+	l.nextArrive = na
 	return l.pending > 0
 }
 
@@ -184,6 +249,11 @@ func (s *Sim) mergeDomains() {
 			s.links[lid].occupancy--
 		}
 		d.occDecs = d.occDecs[:0]
+		for _, td := range d.touchedList {
+			s.doms[td].calDirty = true
+			d.touched[td] = false
+		}
+		d.touchedList = d.touchedList[:0]
 		s.forwardedFlits += d.forwarded
 		s.bypassFlits += d.bypass
 		s.bufferedFlits += d.buffered

@@ -87,6 +87,12 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
 			s := newEngineSim(t, sc.scheme, 0.06)
+			// The golden SN network is narrow enough for the occupancy
+			// bitmask, so these cases pin the bitmask arbitration walk —
+			// the allocation-free fast path the router phase runs on.
+			if s.occIn == nil {
+				t.Fatalf("occupancy bitmask inactive (stride %d x vcs %d); test no longer covers the arbitration fast path", s.stride, s.vcs)
+			}
 			// Warm up past the warmup phase and into measurement so every
 			// ring, pool and wheel bucket has reached its steady-state
 			// high-water mark.
@@ -105,6 +111,59 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 				t.Fatal("measurement window delivered nothing; test exercised an idle network")
 			}
 		})
+	}
+}
+
+// TestSteadyStateZeroAllocsCompactTable extends the zero-allocation contract
+// to the compressed route-table path: route reconstruction at enqueue time
+// appends into per-packet buffers that recycle through the freelist, so once
+// every pooled packet's buffers have reached the network diameter the cycle
+// loop allocates nothing.
+func TestSteadyStateZeroAllocsCompactTable(t *testing.T) {
+	sn, err := core.New(core.Params{Q: 5, P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := sn.Network(core.LayoutSubgroup, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := routing.CompileCompact(net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Net:           net,
+		Table:         tab,
+		VCs:           2,
+		Scheme:        EdgeBuffers,
+		Traffic:       &bernoulliSource{n: net.N(), rate: 0.06, flits: 6},
+		Seed:          211,
+		LatSampleCap:  1 << 16,
+		WarmupCycles:  2000,
+		MeasureCycles: 20000,
+		DrainCycles:   4000,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.table.Compact() {
+		t.Fatal("table is not compact; test no longer covers route reconstruction")
+	}
+	warm := s.cfg.WarmupCycles + 2000
+	for s.now = 0; s.now < warm; s.now++ {
+		s.step()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		s.step()
+		s.now++
+	})
+	if allocs != 0 {
+		t.Fatalf("compact-table steady-state loop allocates %.2f times per cycle, want 0", allocs)
+	}
+	if s.doneMeasured == 0 {
+		t.Fatal("measurement window delivered nothing; test exercised an idle network")
 	}
 }
 

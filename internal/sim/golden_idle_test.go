@@ -61,28 +61,33 @@ func goldenIdleCases() []goldenIdleCase {
 // runGoldenIdleCase executes one case. jobs selects the engine-domain count
 // and cycleStep forces classic stepping — the fixture must be invariant to
 // both, which is exactly what the three Test functions below assert.
-func runGoldenIdleCase(t *testing.T, c goldenIdleCase, jobs int, cycleStep bool) (*sim.Sim, sim.Result) {
+// idleSource builds the pinned idle-heavy workload for one shape; shared
+// with the compact-route-table replay in golden_compact_test.go.
+func idleSource(t *testing.T, n int, shape string) sim.Source {
 	t.Helper()
-	net := snNetwork(t, 5, 4, core.LayoutSubgroup)
-	n := net.N()
-	var src sim.Source
-	switch c.Shape {
+	switch shape {
 	case "lowload":
-		src = &traffic.Synthetic{N: n, Rate: 0.004, PacketFlits: 6,
+		return &traffic.Synthetic{N: n, Rate: 0.004, PacketFlits: 6,
 			Pattern: traffic.Uniform{N: n}}
 	case "longoff":
 		// Mean 16-cycle bursts, 4% duty: long OFF stretches between bursts.
-		src = &traffic.Synthetic{N: n, Rate: 0.02, PacketFlits: 6,
+		return &traffic.Synthetic{N: n, Rate: 0.02, PacketFlits: 6,
 			Pattern: traffic.Uniform{N: n},
 			Process: traffic.NewOnOff(n, 16, 0.04)}
 	case "reqreply":
 		// Window 1: every node stalls after one outstanding request, so
 		// generation is dead until replies return — the NextFirer showcase.
-		src = &traffic.ReqReply{N: n, Window: 1, ReqFlits: 2, ReplyFlits: 6,
+		return &traffic.ReqReply{N: n, Window: 1, ReqFlits: 2, ReplyFlits: 6,
 			Pattern: traffic.Uniform{N: n}}
-	default:
-		t.Fatalf("unknown shape %q", c.Shape)
 	}
+	t.Fatalf("unknown shape %q", shape)
+	return nil
+}
+
+func runGoldenIdleCase(t *testing.T, c goldenIdleCase, jobs int, cycleStep bool) (*sim.Sim, sim.Result) {
+	t.Helper()
+	net := snNetwork(t, 5, 4, core.LayoutSubgroup)
+	src := idleSource(t, net.N(), c.Shape)
 	cfg := sim.Config{
 		Net:           net,
 		Routing:       minRouting(t, net, 2),

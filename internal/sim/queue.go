@@ -13,7 +13,10 @@ import (
 
 // ring is a growable circular FIFO. Unlike an append/reslice queue it keeps
 // its backing array when drained, so a queue that has reached its
-// steady-state high-water mark never allocates again.
+// steady-state high-water mark never allocates again. The backing array is
+// always a power of two (grow doubles from 8), so index wrapping is a mask
+// instead of a modulo — integer division was a top-five line in the
+// saturated-load profile before the switch.
 type ring[T any] struct {
 	buf  []T
 	head int
@@ -32,23 +35,27 @@ func (r *ring[T]) front() T { return r.buf[r.head] }
 // at returns the i-th element from the front (0 = front).
 //
 //sim:hot
-func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)%len(r.buf)] }
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)&(len(r.buf)-1)] }
 
 //sim:hot
 func (r *ring[T]) push(v T) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
 	r.n++
 }
 
+// pop deliberately leaves the vacated slot's contents in place: every ring
+// element type in the engine (flit, linkFlit, *packet, *cbPacket) references
+// only freelist-pooled objects that live for the whole run, so there is
+// nothing for the GC to reclaim and the per-pop clear would be a pure dead
+// store — millions of them per saturated run.
+//
 //sim:hot
 func (r *ring[T]) pop() T {
 	v := r.buf[r.head]
-	var zero T
-	r.buf[r.head] = zero // release references held by the slot
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
 	if r.n == 0 {
 		r.head = 0
@@ -59,9 +66,9 @@ func (r *ring[T]) pop() T {
 //sim:hot
 func (r *ring[T]) grow() {
 	//detlint:allow hotalloc amortised doubling; capacity is retained for the run and steady state never grows
-	nb := make([]T, max(2*len(r.buf), 8))
+	nb := make([]T, max(2*len(r.buf), 8)) // always a power of two: wrap stays mask-friendly
 	for i := 0; i < r.n; i++ {
-		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}
 	r.buf, r.head = nb, 0
 }
@@ -75,7 +82,8 @@ func (r *ring[T]) grow() {
 // skip landing far in the future) degrade to a small linear scan instead of
 // panicking or silently wrapping one horizon early. schedule still panics on
 // events at or before `now`: those are bugs, not long delays. Bucket slices
-// retain capacity across reuse.
+// retain capacity across reuse. The bucket count is rounded up to a power of
+// two so the per-event bucket map is a mask, like the rings.
 type wheel[T any] struct {
 	buckets  [][]T
 	overflow []wheelEvent[T]
@@ -93,7 +101,11 @@ func newWheel[T any](horizon int64) *wheel[T] {
 	if horizon < 2 {
 		horizon = 2
 	}
-	return &wheel[T]{buckets: make([][]T, horizon)}
+	n := int64(2)
+	for n < horizon {
+		n *= 2
+	}
+	return &wheel[T]{buckets: make([][]T, n)}
 }
 
 //sim:hot
@@ -110,7 +122,7 @@ func (w *wheel[T]) schedule(now, at int64, v T) {
 		w.overflow = append(w.overflow, wheelEvent[T]{at: at, v: v})
 		return
 	}
-	b := at % int64(len(w.buckets))
+	b := at & int64(len(w.buckets)-1)
 	w.buckets[b] = append(w.buckets[b], v)
 }
 
@@ -129,7 +141,7 @@ func (w *wheel[T]) take(now int64) []T {
 	if len(w.overflow) > 0 {
 		w.migrate(now)
 	}
-	b := now % int64(len(w.buckets))
+	b := now & int64(len(w.buckets)-1)
 	evs := w.buckets[b]
 	w.buckets[b] = evs[:0]
 	w.pending -= len(evs)
@@ -150,7 +162,7 @@ func (w *wheel[T]) migrate(now int64) {
 			panic("sim: wheel overflow event expired undelivered")
 		}
 		if e.at < now+h {
-			b := e.at % h
+			b := e.at & (h - 1)
 			w.buckets[b] = append(w.buckets[b], e.v)
 		} else {
 			keep = append(keep, e)
@@ -224,8 +236,28 @@ func (a *activeSet) size() int { return len(a.list) }
 // structure guarantees that: links activate routers, routers activate links,
 // NIC injection activates routers, never an entity of their own kind.
 //
+// When the set is dense (a quarter or more of the index space is active — the
+// saturated regime) the sort is replaced by an ascending scan of the
+// membership flags, which visits exactly the same indices in exactly the same
+// order without the O(n log n) comparison sort every cycle.
+//
 //sim:hot
 func (a *activeSet) forEachSorted(step func(i int) bool) {
+	if n := len(a.list); n*4 >= len(a.in) {
+		keep := a.list[:0]
+		for i := range a.in {
+			if !a.in[i] {
+				continue
+			}
+			if step(i) {
+				keep = append(keep, int32(i))
+			} else {
+				a.in[i] = false
+			}
+		}
+		a.list = keep
+		return
+	}
 	slices.Sort(a.list)
 	keep := a.list[:0]
 	for _, i := range a.list {

@@ -57,6 +57,12 @@ const (
 // larger count would silently collide. Validated by New.
 const maxVCs = 63
 
+// maxPacketFlits bounds per-packet flit counts: flit.idx/flit.hop are uint16
+// so rings and link lanes move 16-byte elements. Validated by enqueuePacket
+// (synthetic traffic uses single-digit counts; the bound exists for exotic
+// trace generators).
+const maxPacketFlits = 1<<16 - 1
+
 // Config describes one simulation.
 type Config struct {
 	Net *topo.Network
@@ -258,6 +264,12 @@ type packet struct {
 	path  []int32
 	vcs   []uint8
 	ports []uint8
+	// next is the per-hop next-hop word sequence (routing.NextWord encoding,
+	// NextEject-terminated, len(path) entries): either a RouteTable's interned
+	// nextw view or the packet-owned nextBuf. Flits copy next[hop] at
+	// injection and on every send, so the arbitration loop never touches the
+	// packet's route arrays.
+	next  []uint32
 	flits int
 	class int
 
@@ -271,20 +283,41 @@ type packet struct {
 	// by hop because head and tail flits of one packet can occupy
 	// different routers simultaneously.
 	cbState []uint8
-	// pathBuf/vcsBuf/portsBuf are the packet-owned route storage for
+	// pathBuf/vcsBuf/portsBuf/nextBuf are the packet-owned route storage for
 	// dynamically (adaptively) routed packets; retained across freelist
 	// recycles.
 	pathBuf  []int32
 	vcsBuf   []uint8
 	portsBuf []uint8
+	nextBuf  []uint32
 }
 
-// flit references its packet and position.
+// flit references its packet and position. next carries the precomputed
+// next-hop word (routing.NextWord: output port in bits 16..23, port*vcs+vc
+// slot offset in bits 0..15, or nextEject at the final hop) so switch
+// allocation never touches the packet's route arrays: it is copied from
+// pkt.next once per hop — at injection and on every sendFlit — and the
+// arbitration fast path arbitrates on the word alone.
+// The struct is deliberately 16 bytes (idx/hop are uint16, bounded by New's
+// maxPacketFlits and the 255-router-radix path-length cap): flits are copied
+// on every ring push/pop along their life — source queue, injection queue,
+// link lane, input buffer, ejection wheel — so their width is hot-loop
+// memory bandwidth.
 type flit struct {
-	pkt *packet
-	idx int32 // 0 = head; pkt.flits-1 = tail
-	hop int32 // hop index: the link path[hop] -> path[hop+1] it travels next
+	pkt  *packet
+	idx  uint16 // 0 = head; pkt.flits-1 = tail
+	hop  uint16 // hop index: the link path[hop] -> path[hop+1] it travels next
+	next uint32
 }
+
+// nextEject marks a flit whose current hop is the last: its router visit is
+// an ejection, not a traversal. nextNone is the Sim.inNext idle sentinel: the
+// input VC holds no flit. Valid encodings never collide with either (ports
+// are capped at 255 and VCs at 63, so a real word is at most 0x00fe3efe).
+const (
+	nextEject = routing.NextEject
+	nextNone  = routing.NextEject - 1
+)
 
 //sim:hot
 func (f flit) head() bool { return f.idx == 0 }
@@ -302,13 +335,22 @@ type linkFlit struct {
 // registers themselves store flits (per-VC, ElastiStore-style independent
 // handshakes), so in-flight flits are kept per VC lane.
 type link struct {
-	from, to   int // routers
-	toPort     int // input port index at the destination router
-	latency    int64
-	lanes      []ring[linkFlit] // per VC
-	pending    int              // flits across all lanes (active-set signal)
-	perVCInFly []int            // flits in flight per VC
-	occupancy  int              // flits on the wire plus downstream (UGAL signal)
+	from, to int // routers
+	toPort   int // input port index at the destination router
+	latency  int64
+	lanes    []ring[linkFlit] // per VC
+	pending  int              // flits across all lanes (active-set signal)
+	// nextArrive is a lower bound on the earliest cycle the link can deliver
+	// anything: the minimum front-flit arrival over its lanes, or now+1 when
+	// a front is blocked by elastic backpressure. The link phase consults it
+	// to skip the per-lane peeks on links whose flits are all still in
+	// flight; the sender refreshes it on push, the receiver after each drain.
+	nextArrive int64
+	// sendVB is the sender-side per-VC base index into Sim.space: the link
+	// occupies space[sendVB+vc] slots, returned as its lanes drain (elastic
+	// schemes; EdgeBuffers returns space through the credit wheel instead).
+	sendVB    int32
+	occupancy int // flits on the wire plus downstream (UGAL signal)
 }
 
 // creditEvent returns a credit to (router, port, vc); its due cycle is the
@@ -364,20 +406,48 @@ type Sim struct {
 	inLink  []int32 // [r*stride+pi] link arriving at input pi
 	revPort []int32 // [r*stride+pi] our port index at the upstream router
 	// Mutable per-VC state:
-	inQ      []ring[flit]      // [(r*stride+pi)*vcs+vc] input buffers
-	inCap    []int32           // [(r*stride+pi)*vcs+vc] input buffer capacity
-	outOwner []int64           // [(r*stride+pi)*vcs+vc] owning packet id, or -1
-	credits  []int32           // [(r*stride+pi)*vcs+vc] downstream slots free (EdgeBuffers)
-	cbq      []ring[*cbPacket] // [(r*stride+pi)*vcs+vc] CB queues (CentralBuffer only)
-	cbFree   []int32           // [r] central-buffer slots free
-	work     []int32           // [r] flits resident at the router (active-set signal)
-	// Per-cycle switch-allocation scratch, epoch-marked: a slot is "used
-	// this cycle" iff its entry equals the current cycle number, so there
-	// is nothing to clear — the per-cycle bool resets of the old layout
-	// are gone entirely.
-	outUsedAt []int64 // [r*stride+pi]
-	inUsedAt  []int64 // [r*stride+pi]
-	ejUsedAt  []int64 // [node] per-node ejection port budget
+	inQ   []ring[flit] // [(r*stride+pi)*vcs+vc] input buffers
+	inCap []int32      // [(r*stride+pi)*vcs+vc] input buffer capacity
+	// inLen/inFront mirror each input buffer's length and head flit in two
+	// dense arrays so the switch-allocation scan never chases the ring's
+	// backing-array pointer: a failed arbitration probe (the common case at
+	// saturation) costs two contiguous loads. Maintained by the only two
+	// inQ mutators, stepLink (push) and popInput (pop).
+	inLen   []int32 // [(r*stride+pi)*vcs+vc] == inQ[...].len()
+	inFront []flit  // [(r*stride+pi)*vcs+vc] == inQ[...].front() when inLen > 0
+	// inNext collapses "does this input VC hold a flit" and "where does its
+	// front flit want to go" into one dense uint32 per (port,vc): the front
+	// flit's next-hop word, or nextNone when the buffer is empty. A failed
+	// arbitration probe — the overwhelmingly common case at saturation — is
+	// then one load plus one or two compares against per-domain scratch,
+	// touching no flit, packet or ring memory at all.
+	inNext   []uint32 // [(r*stride+pi)*vcs+vc]
+	outOwner []int64  // [(r*stride+pi)*vcs+vc] owning packet id, or -1
+	// occIn is the per-router input-occupancy bitmask: bit pi*vcs+vc is set
+	// iff input slot (pi, vc) holds at least one flit. The arbitration scan
+	// rotates it by the cycle's starting port and walks only the set bits
+	// (bits.TrailingZeros64), visiting exactly the non-empty slots the
+	// port-by-port probe loop would have found, in the same order. nil when a
+	// router's slots cannot fit one word (stride*vcs > 64) — the scan then
+	// falls back to probing every slot. Maintained by stepLink (set on
+	// 0->non-empty) and popInput (clear on ->empty).
+	occIn []uint64 // [r], bit pi*vcs+vc; nil when stride*vcs > 64
+	// space is the per-(port,vc) output readiness word: how many more flits
+	// this output can accept right now. For EdgeBuffers it is the classic
+	// credit count (returned through the credit wheel); for elastic schemes
+	// it is the link pipeline's free slots (latency stages + 1 slave latch,
+	// returned when the receiver pops the lane). outputReady is therefore
+	// one compare, with the scheme branch and the pointer chase into the
+	// link struct both gone from the arbitration inner loop.
+	space  []int32           // [(r*stride+pi)*vcs+vc]
+	cbq    []ring[*cbPacket] // [(r*stride+pi)*vcs+vc] CB queues (CentralBuffer only)
+	cbFree []int32           // [r] central-buffer slots free
+	work   []int32           // [r] flits resident at the router (active-set signal)
+	// Per-cycle ejection scratch, epoch-marked: a slot is "used this cycle"
+	// iff its entry equals the current cycle number, so there is nothing to
+	// clear. (Output-port conflicts use the per-domain outMask bitmask
+	// instead — see domain.outMask.)
+	ejUsedAt []int64 // [node] per-node ejection port budget
 
 	// Domain decomposition (see domain.go). doms always has >= 1 entry;
 	// the serial engine is simply the 1-domain instance of the same code.
@@ -387,9 +457,19 @@ type Sim struct {
 	routerIn []bool  // [r] router is on its domain's active list
 	linkIn   []bool  // [link] link is on its receiving domain's active list
 	par      *parRunner
+	// single marks the 1-domain engine: staged cross-domain effects (credit
+	// events, ejections, occupancy decrements, link wakes) are applied
+	// directly instead of buffered and replayed — the apply order is then
+	// trivially the staged replay order, so results stay byte-identical.
+	single bool
 
 	// Active NICs (source queues with packets); injection stays serial.
 	activeNICs activeSet
+	// injNext mirrors each NIC injection queue's front next-hop word
+	// (nextNone when empty), exactly like inNext does for the router input
+	// buffers: the per-router injection scan probes one dense uint32 per
+	// node and only touches the NIC's ring when a flit can actually move.
+	injNext []uint32 // [node]
 
 	// Timing wheels replacing the per-cycle credit and ejection scans.
 	creditWheel *wheel[creditEvent]
@@ -586,8 +666,17 @@ func New(cfg Config) (*Sim, error) {
 	s.revPort = make([]int32, np)
 	s.inQ = make([]ring[flit], nv)
 	s.inCap = make([]int32, nv)
+	s.inLen = make([]int32, nv)
+	s.inFront = make([]flit, nv)
+	s.inNext = make([]uint32, nv)
+	for i := range s.inNext {
+		s.inNext[i] = nextNone
+	}
+	if s.stride*s.vcs <= 64 {
+		s.occIn = make([]uint64, nr)
+	}
 	s.outOwner = make([]int64, nv)
-	s.credits = make([]int32, nv)
+	s.space = make([]int32, nv)
 	if cfg.Scheme == CentralBuffer {
 		s.cbq = make([]ring[*cbPacket], nv)
 	}
@@ -596,13 +685,7 @@ func New(cfg Config) (*Sim, error) {
 		s.cbFree[r] = int32(cfg.CBCap)
 	}
 	s.work = make([]int32, nr)
-	s.outUsedAt = make([]int64, np)
-	s.inUsedAt = make([]int64, np)
 	s.ejUsedAt = make([]int64, s.net.N())
-	for i := range s.outUsedAt {
-		s.outUsedAt[i] = -1
-		s.inUsedAt[i] = -1
-	}
 	for i := range s.ejUsedAt {
 		s.ejUsedAt[i] = -1
 	}
@@ -629,12 +712,12 @@ func New(cfg Config) (*Sim, error) {
 			}
 			l := link{
 				from: nb, to: r, toPort: pi, latency: lat,
-				perVCInFly: make([]int, cfg.VCs),
-				lanes:      make([]ring[linkFlit], cfg.VCs),
+				lanes: make([]ring[linkFlit], cfg.VCs),
 			}
 			s.links = append(s.links, l)
 			lid := len(s.links) - 1
 			pos := portIndex(s.net.Adj[nb], r)
+			s.links[lid].sendVB = int32((nb*s.stride + pos) * cfg.VCs)
 			s.outLink[nb*s.stride+pos] = int32(lid)
 			s.inLink[r*s.stride+pi] = int32(lid)
 			s.revPort[r*s.stride+pi] = int32(pos)
@@ -652,7 +735,9 @@ func New(cfg Config) (*Sim, error) {
 			}
 		}
 	}
-	// Init owners and credits now that capacities are known.
+	// Init owners and readiness now that capacities are known: EdgeBuffers
+	// outputs start with the peer input buffer's full credit count, elastic
+	// outputs with the link pipeline's slot count (latency stages + 1).
 	for r := 0; r < nr; r++ {
 		for pi := 0; pi < int(s.kp[r]); pi++ {
 			vb := (r*s.stride + pi) * cfg.VCs
@@ -660,14 +745,20 @@ func New(cfg Config) (*Sim, error) {
 			peer := (l.to*s.stride + l.toPort) * cfg.VCs
 			for v := 0; v < cfg.VCs; v++ {
 				s.outOwner[vb+v] = -1
-				s.credits[vb+v] = s.inCap[peer+v]
+				if cfg.Scheme == EdgeBuffers {
+					s.space[vb+v] = s.inCap[peer+v]
+				} else {
+					s.space[vb+v] = int32(l.latency) + 1
+				}
 			}
 		}
 	}
 	// NICs.
 	s.nics = make([]nic, s.net.N())
+	s.injNext = make([]uint32, s.net.N())
 	for v := range s.nics {
 		s.nics[v] = nic{node: v, injCap: cfg.InjQueueCap}
+		s.injNext[v] = nextNone
 	}
 	// Compiled static routes: adaptive policies route per packet, everyone
 	// else reads the table (supplied and shared, or compiled here).
@@ -974,7 +1065,7 @@ func (s *Sim) allocPacket() *packet {
 //
 //sim:hot
 func (s *Sim) freePacket(p *packet) {
-	p.path, p.vcs, p.ports = nil, nil, nil
+	p.path, p.vcs, p.ports, p.next = nil, nil, nil, nil
 	s.pktPool = append(s.pktPool, p)
 }
 
@@ -982,6 +1073,9 @@ func (s *Sim) freePacket(p *packet) {
 func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 	if flits <= 0 {
 		flits = s.cfg.PacketFlits
+	}
+	if flits > maxPacketFlits {
+		panic("sim: packet exceeds maxPacketFlits (flit indices are uint16)")
 	}
 	srcR := s.net.NodeRouter(src)
 	dstR := s.net.NodeRouter(dst)
@@ -1001,9 +1095,18 @@ func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 			p.vcsBuf = append(p.vcsBuf, uint8(v))
 		}
 		p.vcs = p.vcsBuf
+	} else if s.table.Compact() {
+		// Compact (next-hop-only) table: reconstruct the route into the
+		// packet-owned buffers. Byte-identical to the dense views (pinned by
+		// the routing equivalence tests and the compact golden replay), and
+		// allocation-free once the buffers reach their high-water capacity.
+		p.pathBuf, p.vcsBuf, p.portsBuf, p.nextBuf = s.table.AppendRoute(
+			p.pathBuf[:0], p.vcsBuf[:0], p.portsBuf[:0], p.nextBuf[:0], srcR, dstR)
+		p.path, p.vcs, p.ports, p.next = p.pathBuf, p.vcsBuf, p.portsBuf, p.nextBuf
 	} else {
 		p.path, p.vcs = s.table.Route(srcR, dstR)
 		p.ports = s.table.Ports(srcR, dstR)
+		p.next = s.table.NextWords(srcR, dstR)
 	}
 	if p.ports == nil && len(p.path) > 1 {
 		// Adaptive route or a shared table without compiled ports: resolve
@@ -1015,6 +1118,16 @@ func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 		}
 		p.ports = p.portsBuf
 	}
+	if p.next == nil {
+		// No interned next-hop words (adaptive route, or a table without
+		// CompilePorts): derive them once here from the resolved ports/VCs.
+		p.nextBuf = p.nextBuf[:0]
+		for i := 0; i+1 < len(p.path); i++ {
+			p.nextBuf = append(p.nextBuf, routing.NextWord(int(p.ports[i]), int(p.vcs[i]), s.vcs))
+		}
+		p.nextBuf = append(p.nextBuf, nextEject)
+		p.next = p.nextBuf
+	}
 	if s.cfg.Scheme == CentralBuffer {
 		// Reset the per-hop bypass decisions, reusing capacity.
 		if cap(p.cbState) < len(p.path) {
@@ -1025,6 +1138,9 @@ func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 			clear(p.cbState)
 		}
 	}
+	if len(p.path) > maxPacketFlits {
+		panic("sim: route exceeds maxPacketFlits hops (flit hop indices are uint16)")
+	}
 	if tracked {
 		s.genMeasured++
 	}
@@ -1032,13 +1148,14 @@ func (s *Sim) enqueuePacket(src, dst, flits, class int, tracked bool) {
 	s.activeNICs.add(src)
 }
 
-// stepCredits applies the credit returns due this cycle.
+// stepCredits applies the credit returns due this cycle (EdgeBuffers: each
+// event restores one unit of output readiness at the upstream router).
 //
 //sim:hot
 func (s *Sim) stepCredits() {
 	evs := s.creditWheel.take(s.now)
 	for _, ev := range evs {
-		s.credits[(int(ev.router)*s.stride+int(ev.port))*s.vcs+int(ev.vc)]++
+		s.space[(int(ev.router)*s.stride+int(ev.port))*s.vcs+int(ev.vc)]++
 	}
 }
 
@@ -1066,16 +1183,27 @@ func (s *Sim) routerGainsFlit(r int) {
 func (s *Sim) stepInject() {
 	s.activeNICs.forEachSorted(func(v int) bool {
 		nc := &s.nics[v]
+		r := s.net.NodeRouter(v)
 		for nc.srcQ.len() > 0 {
 			p := nc.srcQ.front()
-			// Move remaining flits of the head packet while space lasts.
+			// Move remaining flits of the head packet while space lasts. The
+			// next-hop word is resolved once per packet visit, and only when a
+			// flit actually moves (a full injection queue is the common case
+			// at saturation).
 			moved := false
+			nx := uint32(0)
 			for p.flitsMoved < p.flits && nc.injQ.len() < nc.injCap {
+				if !moved {
+					nx = p.next[0]
+				}
 				s.flitCountInjected(p)
-				nc.injQ.push(flit{pkt: p, idx: int32(p.flitsMoved), hop: 0})
+				if nc.injQ.len() == 0 {
+					s.injNext[v] = nx
+				}
+				nc.injQ.push(flit{pkt: p, idx: uint16(p.flitsMoved), hop: 0, next: nx})
 				p.flitsMoved++
 				moved = true
-				s.routerGainsFlit(s.net.NodeRouter(v))
+				s.routerGainsFlit(r)
 			}
 			if p.flitsMoved == p.flits {
 				nc.srcQ.pop()

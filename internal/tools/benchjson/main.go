@@ -17,6 +17,19 @@
 // baseline ns/op and the speedup factor (baseline/current); the baseline
 // file aggregates the same way, so a multi-sample baseline compares by its
 // mean.
+//
+// Entries whose aggregated relative spread exceeds -maxspread (default 0.20)
+// are marked "noisy": true in the JSON and reported on stderr, so an
+// unreliable box is visible in the artifact instead of silently recorded as
+// a real perf shift.
+//
+// CI regression guard:
+//
+//	go run ./internal/tools/benchjson -compare BENCH_sim.json new_bench.json
+//
+// compares two already-rendered JSON reports and exits nonzero when ns/op on
+// any benchmark present in both regresses by more than -maxregress (default
+// 0.25, i.e. +25%) against the committed baseline.
 package main
 
 import (
@@ -45,6 +58,9 @@ type Benchmark struct {
 	// spread (max-min)/mean. Present only with 2+ samples.
 	NsPerOpStddev float64 `json:"ns_per_op_stddev,omitempty"`
 	NsPerOpSpread float64 `json:"ns_per_op_spread,omitempty"`
+	// Noisy marks an entry whose spread exceeded the -maxspread threshold:
+	// its mean is recorded but should not be trusted as a perf signal.
+	Noisy bool `json:"noisy,omitempty"`
 	// BaselineNsPerOp/Speedup are present only when -baseline was given
 	// and contained this benchmark.
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
@@ -61,7 +77,17 @@ type Report struct {
 
 func main() {
 	baseline := flag.String("baseline", "", "bench output file to compute speedups against")
+	compare := flag.Bool("compare", false, "compare two rendered JSON reports (old new) and fail on ns/op regressions")
+	maxSpread := flag.Float64("maxspread", 0.20, "relative ns/op spread above which an entry is flagged noisy")
+	maxRegress := flag.Float64("maxregress", 0.25, "with -compare: relative ns/op increase above which the comparison fails")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two arguments: old.json new.json"))
+		}
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *maxRegress))
+	}
 
 	var rep Report
 	if flag.NArg() == 0 {
@@ -76,6 +102,7 @@ func main() {
 		f.Close()
 	}
 	aggregate(&rep)
+	flagNoisy(&rep, *maxSpread)
 
 	if *baseline != "" {
 		f, err := os.Open(*baseline)
@@ -221,6 +248,75 @@ func noise(ns []float64) (stddev, spread float64) {
 		spread = (hi - lo) / mean
 	}
 	return stddev, spread
+}
+
+// flagNoisy marks aggregated entries whose relative spread exceeds the
+// threshold and reports them on stderr — the CI log line that distinguishes
+// a noisy box from a real perf shift.
+func flagNoisy(rep *Report, maxSpread float64) {
+	for i := range rep.Benchmarks {
+		b := &rep.Benchmarks[i]
+		if b.Samples > 1 && b.NsPerOpSpread > maxSpread {
+			b.Noisy = true
+			fmt.Fprintf(os.Stderr, "benchjson: noisy: %s ns/op spread %.2f exceeds %.2f across %d samples\n",
+				b.Name, b.NsPerOpSpread, maxSpread, b.Samples)
+		}
+	}
+}
+
+// compareReports is the -compare mode: both arguments are already-rendered
+// BENCH_sim.json documents. Returns the process exit code — 1 when any
+// benchmark present in both regresses more than maxRegress on ns/op, 0
+// otherwise. Benchmarks present in only one file are reported but do not
+// fail the comparison (new benchmarks have no baseline; removed ones have
+// no current number to judge).
+func compareReports(oldPath, newPath string, maxRegress float64) int {
+	readReport := func(path string) Report {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		return rep
+	}
+	oldRep, newRep := readReport(oldPath), readReport(newPath)
+	oldByName := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	code := 0
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		seen[b.Name] = true
+		old, ok := oldByName[b.Name]
+		if !ok {
+			fmt.Printf("new     %-60s %14.0f ns/op (no baseline)\n", b.Name, b.Metrics["ns/op"])
+			continue
+		}
+		baseNs, cur := old.Metrics["ns/op"], b.Metrics["ns/op"]
+		if baseNs <= 0 || cur <= 0 {
+			continue
+		}
+		delta := cur/baseNs - 1
+		tag := "ok"
+		if delta > maxRegress {
+			tag = "REGRESS"
+			code = 1
+		}
+		fmt.Printf("%-7s %-60s %14.0f -> %14.0f ns/op  %+6.1f%%\n", tag, b.Name, baseNs, cur, 100*delta)
+	}
+	for _, b := range oldRep.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Printf("gone    %-60s (in %s only)\n", b.Name, oldPath)
+		}
+	}
+	if code != 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression above %.0f%% detected\n", 100*maxRegress)
+	}
+	return code
 }
 
 // trimProcSuffix drops the trailing -GOMAXPROCS marker (BenchmarkFoo-8 ->

@@ -434,9 +434,12 @@ func (c *Campaign) runPoint(ctx context.Context, i int, spec RunSpec, cache *net
 		// route per packet and have no compiled form.
 		// The eager compile happens before sim.New's budget check runs, so
 		// when the table alone would bust a point budget, skip it here and
-		// let sim.New report the sizing error without the allocation.
+		// let sim.New report the sizing error without the allocation. The
+		// floor accounts for compact auto-selection: a 100k-endpoint minimal
+		// table is one byte per pair, not twelve, and fits budgets its dense
+		// form never could.
 		if re, ok := routings.lookup(spec.Routing.Algorithm); ok && !re.Adaptive &&
-			!(c.memBudget > 0 && int64(net.Nr)*int64(net.Nr)*12 > c.memBudget) {
+			!(c.memBudget > 0 && tableFloorBytes(net, kind, spec.Routing.Algorithm) > c.memBudget) {
 			if tab, terr := cache.table(spec.Network, spec.Routing.Algorithm, spec.Routing.VCs); terr == nil {
 				cachedTab = tab
 				opts = append(opts, WithRouteTable(tab))

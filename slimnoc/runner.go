@@ -318,10 +318,69 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	return res, runErr
 }
 
+// compactTableThreshold is the dense-table size above which
+// CompileRouteTable switches to the compact next-hop form for eligible
+// algorithms. 64 MiB keeps every benchmark-sized network on the dense
+// zero-reconstruction path while the paper's 100k-endpoint instances
+// (whose dense tables reach gigabytes) compress to one byte per pair.
+const compactTableThreshold = 64 << 20
+
+// compactSelected reports whether CompileRouteTable picks the compact form:
+// the algorithm must be compact-eligible and the dense table must exceed
+// compactTableThreshold. The dense size is the exact interned footprint
+// (routing.EstimateDenseBytes, a BFS distance census), not just the
+// nr^2 x 12 offset floor — long-path topologies like the 10k-endpoint
+// torus/mesh baselines intern hundreds of MiB of path bytes on top of a
+// 19 MiB floor. The floor short-circuits the census in both directions:
+// when the offsets alone bust the threshold (the 100k presets, where the
+// census itself would be minutes of BFS) the answer is compact without it.
+func compactSelected(net *Network, kind Kind, algorithm string) bool {
+	if !compactEligible(kind, algorithm) {
+		return false
+	}
+	if int64(net.Nr)*int64(net.Nr)*12 > compactTableThreshold {
+		return true
+	}
+	return routing.EstimateDenseBytes(net) > compactTableThreshold
+}
+
+// compactEligible reports whether the algorithm's routes on this topology
+// are exactly the deterministic minimal next-hop routes that
+// routing.CompileCompact reproduces: the generic minimal builder, either
+// named directly or selected by "auto" on a generic-class topology (SN,
+// Dragonfly, Clos). Grid algorithms (DOR, XY, datelines) assign VCs by
+// geometry rather than hop index and keep their dense tables.
+func compactEligible(kind Kind, algorithm string) bool {
+	switch strings.ToLower(algorithm) {
+	case "minimal":
+		return true
+	case "auto":
+		return kind.Class == routing.ClassGeneric
+	}
+	return false
+}
+
+// tableFloorBytes is the minimum resident footprint of the table
+// CompileRouteTable would build for this point — the campaign uses it to
+// skip eager compilation that a point memory budget would reject anyway.
+func tableFloorBytes(net *Network, kind Kind, algorithm string) int64 {
+	if compactSelected(net, kind, algorithm) {
+		return int64(net.Nr) * int64(net.Nr) // compact: one next-hop byte per pair
+	}
+	return int64(net.Nr) * int64(net.Nr) * 12
+}
+
 // CompileRouteTable builds the immutable compiled route table for a static
 // routing algorithm on an already built network. The result is safe to
 // share across concurrent runs via WithRouteTable. Adaptive algorithms
 // (RoutingEntry.Adaptive) have no compiled form and are rejected.
+//
+// When the dense table would exceed compactTableThreshold (exact interned
+// size, see compactSelected), algorithms whose routes are deterministic
+// minimal next-hop routes (see compactEligible) compile to the compact
+// next-hop-only form — byte-identical routes at one byte per (src,dst)
+// pair — instead of the dense interned table; routing.CompileCompact is the
+// direct way to force that form at any size.
 func CompileRouteTable(net *Network, kind Kind, algorithm string, vcs int) (*RouteTable, error) {
 	re, ok := routings.lookup(algorithm)
 	if !ok {
@@ -330,6 +389,9 @@ func CompileRouteTable(net *Network, kind Kind, algorithm string, vcs int) (*Rou
 	}
 	if re.Adaptive {
 		return nil, fmt.Errorf("slimnoc: adaptive algorithm %q routes per packet and cannot be compiled", algorithm)
+	}
+	if compactSelected(net, kind, algorithm) {
+		return routing.CompileCompact(net, vcs)
 	}
 	pb, _, err := re.New(net, kind, vcs)
 	if err != nil {
